@@ -1,0 +1,113 @@
+// Command gridctl submits jobs to a live grid (cmd/gridnode) and waits
+// for results. It acts as the paper's external client: it contacts any
+// grid node as its injection node and receives the result directly from
+// the run node.
+//
+//	gridctl -node 127.0.0.1:7001 -work 5s -mincpu 2 -n 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/nettransport"
+	"repro/internal/resource"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	node := flag.String("node", "127.0.0.1:7001", "injection node address")
+	work := flag.Duration("work", 5*time.Second, "job runtime")
+	n := flag.Int("n", 1, "number of jobs")
+	minCPU := flag.Float64("mincpu", 0, "minimum CPU speed (0 = unconstrained)")
+	minMem := flag.Float64("minmem", 0, "minimum memory MB")
+	minDisk := flag.Float64("mindisk", 0, "minimum disk GB")
+	osReq := flag.String("os", "", "required OS ('' = any)")
+	timeout := flag.Duration("timeout", 5*time.Minute, "per-batch result deadline")
+	flag.Parse()
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	cons := resource.Unconstrained
+	if *minCPU > 0 {
+		cons = cons.Require(resource.CPU, *minCPU)
+	}
+	if *minMem > 0 {
+		cons = cons.Require(resource.Memory, *minMem)
+	}
+	if *minDisk > 0 {
+		cons = cons.Require(resource.Disk, *minDisk)
+	}
+	if *osReq != "" {
+		cons = cons.RequireOS(*osReq)
+	}
+
+	var mu sync.Mutex
+	results := map[ids.ID]grid.Result{}
+	gotAll := make(chan struct{})
+	want := *n
+	host.Handle(grid.MResult, func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		res := req.(grid.ResultReq).Res
+		mu.Lock()
+		if _, dup := results[res.JobID]; !dup {
+			results[res.JobID] = res
+			fmt.Printf("result job=%s run-node=%s elapsed=%v\n",
+				res.JobID.Short(), res.RunNode, (res.Finished - res.Started).Round(time.Millisecond))
+			if len(results) == want {
+				close(gotAll)
+			}
+		}
+		mu.Unlock()
+		return grid.ResultResp{}, nil
+	})
+
+	submitted := make(chan error, 1)
+	host.Go("submit", func(rt transport.Runtime) {
+		base := int(time.Now().UnixNano() % 1e9)
+		for i := 0; i < want; i++ {
+			req := grid.InjectReq{
+				Client:  host.Addr(),
+				Seq:     base + i,
+				Attempt: 0,
+				Cons:    cons,
+				Work:    *work,
+				InputKB: 4,
+			}
+			raw, err := rt.CallT(transport.Addr(*node), grid.MInject, req, 30*time.Second)
+			if err != nil {
+				submitted <- fmt.Errorf("inject %d: %w", i, err)
+				return
+			}
+			resp := raw.(grid.InjectResp)
+			fmt.Printf("submitted job=%s owner=%s hops=%d\n", resp.JobID.Short(), resp.Owner, resp.Hops)
+		}
+		submitted <- nil
+	})
+	if err := <-submitted; err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+
+	select {
+	case <-gotAll:
+		fmt.Printf("all %d results received\n", want)
+	case <-time.After(*timeout):
+		mu.Lock()
+		got := len(results)
+		mu.Unlock()
+		fmt.Fprintf(os.Stderr, "gridctl: timeout with %d/%d results\n", got, want)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,125 @@
+// Command gridnode runs one live desktop-grid peer over TCP: it joins
+// (or creates) the overlay, advertises its resources, and runs jobs
+// submitted by any client (see cmd/gridctl). Jobs execute in a sandbox
+// as synthetic CPU work sized by the job profile.
+//
+// Start a first node, then join more:
+//
+//	gridnode -listen 127.0.0.1:7001
+//	gridnode -listen 127.0.0.1:7002 -bootstrap 127.0.0.1:7001 -cpu 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/grid"
+	"repro/internal/match"
+	"repro/internal/nettransport"
+	"repro/internal/resource"
+	"repro/internal/rntree"
+	"repro/internal/sandbox"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7001", "TCP listen address")
+	bootstrap := flag.String("bootstrap", "", "address of an existing node ('' = create a new grid)")
+	cpu := flag.Float64("cpu", 5, "advertised CPU speed (1-10)")
+	mem := flag.Float64("mem", 4096, "advertised memory (MB)")
+	disk := flag.Float64("disk", 100, "advertised disk (GB)")
+	osname := flag.String("os", "linux", "advertised operating system")
+	flag.Parse()
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+	caps := resource.Vector{*cpu, *mem, *disk}
+
+	ch := chord.New(host, chord.Config{
+		StabilizeEvery:  500 * time.Millisecond,
+		FixFingersEvery: 500 * time.Millisecond,
+	})
+	rn := rntree.New(host, ch, caps, *osname, rntree.Config{AggregateEvery: time.Second})
+	overlay := &match.ChordOverlay{Chord: ch, Walk: rn}
+	matcher := &match.RNTree{RN: rn}
+	logger := grid.RecorderFunc(func(ev grid.Event) {
+		fmt.Printf("%s job=%s attempt=%d node=%s\n", ev.Kind, ev.JobID.Short(), ev.Attempt, ev.Node)
+	})
+	// Jobs run inside a sandbox (Section 5 of the paper): private
+	// filesystem root, no network, output quota, bounded runtime. The
+	// work itself is synthetic (the profile's nominal duration) with the
+	// job's input/output sizes materialized as files.
+	box := sandbox.New(sandbox.Policy{
+		MaxOutputBytes: 64 << 20,
+		MaxRuntime:     time.Hour,
+	})
+	executor := func(prof grid.Profile) (int, error) {
+		out, err := box.Run(context.Background(), func(ctx context.Context, env *sandbox.Env) ([]byte, error) {
+			if err := env.WriteFile("input.dat", make([]byte, prof.InputKB*1024)); err != nil {
+				return nil, err
+			}
+			select {
+			case <-time.After(prof.Work):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			output := make([]byte, (prof.OutputKB+1)*1024)
+			if err := env.WriteFile("output.dat", output); err != nil {
+				return nil, err
+			}
+			return output, nil
+		})
+		if err != nil {
+			return 0, err
+		}
+		return len(out) / 1024, nil
+	}
+	gn := grid.NewNode(host, caps, *osname, overlay, matcher, logger, grid.Config{
+		HeartbeatEvery: time.Second,
+		Executor:       executor,
+	})
+	rn.SetLoadFn(gn.QueueLen)
+
+	if *bootstrap == "" {
+		ch.Create()
+		fmt.Printf("gridnode: created grid at %s (id %s)\n", host.Addr(), ch.ID().Short())
+	} else {
+		joined := make(chan error, 1)
+		host.Go("join", func(rt transport.Runtime) {
+			var jerr error
+			for try := 0; try < 20; try++ {
+				if jerr = ch.Join(rt, transport.Addr(*bootstrap)); jerr == nil {
+					break
+				}
+				rt.Sleep(500 * time.Millisecond)
+			}
+			joined <- jerr
+		})
+		if err := <-joined; err != nil {
+			fmt.Fprintf(os.Stderr, "gridnode: join: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gridnode: joined via %s as %s (id %s)\n", *bootstrap, host.Addr(), ch.ID().Short())
+	}
+	ch.Start()
+	rn.Start()
+	gn.Start()
+
+	fmt.Printf("gridnode: caps=%s os=%s; ctrl-c to stop\n", caps, *osname)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("gridnode: shutting down")
+}

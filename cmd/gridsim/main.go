@@ -1,0 +1,118 @@
+// Command gridsim runs the paper-reproduction experiments (see
+// DESIGN.md's per-experiment index and EXPERIMENTS.md for results).
+//
+// Usage:
+//
+//	gridsim -exp fig2a            # one experiment at default scale
+//	gridsim -exp all -scale 1     # full paper scale (1000 nodes, slow)
+//	gridsim -list                 # list experiment identifiers
+//
+// Experiments: fig2a fig2b (clustered avg/stdev), fig2c fig2d (mixed),
+// tab1 (matchmaking cost), tab2 (CAN pushing), tab3 (DHT behaviour),
+// tab4 (robustness/churn), tab5 (TTL misses), ablate-virtualdim,
+// ablate-k, ablate-fair, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/workload"
+)
+
+var experimentOrder = []string{
+	"fig2a", "fig2b", "fig2c", "fig2d",
+	"tab1", "tab2", "tab3", "tab4", "tab5",
+	"ablate-virtualdim", "ablate-k", "ablate-fair",
+}
+
+func main() {
+	exp := flag.String("exp", "", "experiment id (see -list), or 'all'")
+	scale := flag.Float64("scale", 0.1, "workload scale: 1 = paper's 1000 nodes / 5000 jobs")
+	seed := flag.Int64("seed", 1, "random seed")
+	verbose := flag.Bool("v", false, "progress output")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	list := flag.Bool("list", false, "list experiment identifiers")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experimentOrder {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "gridsim: -exp required (try -list)")
+		os.Exit(2)
+	}
+
+	o := experiments.Options{Scale: *scale, Seed: *seed}
+	if *verbose {
+		o.Verbose = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "# "+format+"\n", args...)
+		}
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentOrder
+	}
+	start := time.Now()
+	for _, id := range ids {
+		tbl, err := run(id, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Print(tbl.CSV())
+		} else {
+			fmt.Println(tbl.Format())
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "# total wall time %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// run dispatches one experiment id to its driver. The fig2 panels share
+// a driver per population: panels (a,b) are the avg/stdev columns of
+// the clustered table, (c,d) of the mixed table.
+func run(id string, o experiments.Options) (*experiments.Table, error) {
+	switch id {
+	case "fig2a", "fig2b":
+		_, tbl := experiments.Fig2(workload.Clustered, o)
+		tbl.Notes = append(tbl.Notes, "panel (a) is the avg-wait column; panel (b) is the stdev-wait column")
+		return tbl, nil
+	case "fig2c", "fig2d":
+		_, tbl := experiments.Fig2(workload.Mixed, o)
+		tbl.Notes = append(tbl.Notes, "panel (c) is the avg-wait column; panel (d) is the stdev-wait column")
+		return tbl, nil
+	case "tab1":
+		return experiments.MatchCost(o), nil
+	case "tab2":
+		return experiments.CANPush(o), nil
+	case "tab3":
+		sizes := []int{64, 256, 1024}
+		if o.Scale >= 1 {
+			sizes = append(sizes, 4096)
+		}
+		_, tbl := experiments.DHTBehavior(sizes, o)
+		return tbl, nil
+	case "tab4":
+		return experiments.Robustness(nil, o), nil
+	case "tab5":
+		return experiments.TTLFailure(o), nil
+	case "ablate-virtualdim":
+		return experiments.VirtualDimAblation(o), nil
+	case "ablate-k":
+		return experiments.ExtendedSearchAblation(o), nil
+	case "ablate-fair":
+		return experiments.FairnessAblation(o), nil
+	default:
+		return nil, fmt.Errorf("unknown experiment %q", id)
+	}
+}

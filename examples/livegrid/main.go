@@ -1,0 +1,197 @@
+// Livegrid: boots a real 4-peer desktop grid over TCP sockets in one
+// process and runs actual sandboxed N-body integrations through the
+// full stack — Chord ring, RN-Tree matchmaking, owner/run-node
+// protocol, heartbeats, and direct result delivery. The same protocol
+// code the simulator exercises, over real sockets and real work.
+//
+//	go run ./examples/livegrid
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/grid"
+	"repro/internal/match"
+	"repro/internal/nettransport"
+	"repro/internal/resource"
+	"repro/internal/rntree"
+	"repro/internal/sandbox"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// nbody integrates a Plummer-like sphere with a leapfrog scheme and
+// returns the relative energy drift — the correctness check a real
+// astronomy campaign would make.
+func nbody(bodies, steps int) float64 {
+	type vec struct{ x, y, z float64 }
+	pos := make([]vec, bodies)
+	vel := make([]vec, bodies)
+	// Deterministic initial conditions on a spiral shell.
+	for i := range pos {
+		t := float64(i) * 2.3999632 // golden angle
+		r := 1 + float64(i%7)/7
+		pos[i] = vec{r * math.Cos(t), r * math.Sin(t), (float64(i%13) - 6) / 13}
+		vel[i] = vec{-math.Sin(t) / 4, math.Cos(t) / 4, 0}
+	}
+	const dt, eps = 0.001, 0.05
+	acc := func() []vec {
+		a := make([]vec, bodies)
+		for i := 0; i < bodies; i++ {
+			for j := i + 1; j < bodies; j++ {
+				dx := pos[j].x - pos[i].x
+				dy := pos[j].y - pos[i].y
+				dz := pos[j].z - pos[i].z
+				r2 := dx*dx + dy*dy + dz*dz + eps*eps
+				inv := 1 / (r2 * math.Sqrt(r2))
+				a[i].x += dx * inv
+				a[i].y += dy * inv
+				a[i].z += dz * inv
+				a[j].x -= dx * inv
+				a[j].y -= dy * inv
+				a[j].z -= dz * inv
+			}
+		}
+		return a
+	}
+	energy := func() float64 {
+		e := 0.0
+		for i := 0; i < bodies; i++ {
+			e += 0.5 * (vel[i].x*vel[i].x + vel[i].y*vel[i].y + vel[i].z*vel[i].z)
+			for j := i + 1; j < bodies; j++ {
+				dx := pos[j].x - pos[i].x
+				dy := pos[j].y - pos[i].y
+				dz := pos[j].z - pos[i].z
+				e -= 1 / math.Sqrt(dx*dx+dy*dy+dz*dz+eps*eps)
+			}
+		}
+		return e
+	}
+	e0 := energy()
+	a := acc()
+	for s := 0; s < steps; s++ {
+		for i := range pos {
+			vel[i].x += 0.5 * dt * a[i].x
+			vel[i].y += 0.5 * dt * a[i].y
+			vel[i].z += 0.5 * dt * a[i].z
+			pos[i].x += dt * vel[i].x
+			pos[i].y += dt * vel[i].y
+			pos[i].z += dt * vel[i].z
+		}
+		a = acc()
+		for i := range pos {
+			vel[i].x += 0.5 * dt * a[i].x
+			vel[i].y += 0.5 * dt * a[i].y
+			vel[i].z += 0.5 * dt * a[i].z
+		}
+	}
+	return math.Abs((energy() - e0) / e0)
+}
+
+func main() {
+	wire.RegisterAll()
+	const N = 4
+
+	chCfg := chord.Config{StabilizeEvery: 50 * time.Millisecond, FixFingersEvery: 50 * time.Millisecond}
+	rnCfg := rntree.Config{AggregateEvery: 100 * time.Millisecond}
+
+	hosts := make([]*nettransport.Host, N)
+	chords := make([]*chord.Node, N)
+	grids := make([]*grid.Node, N)
+
+	for i := 0; i < N; i++ {
+		h, err := nettransport.Listen("127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer h.Close()
+		hosts[i] = h
+		caps := resource.Vector{float64(3 + i*2), 2048, 50}
+		chords[i] = chord.New(h, chCfg)
+		rn := rntree.New(h, chords[i], caps, "linux", rnCfg)
+		overlay := &match.ChordOverlay{Chord: chords[i], Walk: rn}
+
+		// Real work: each job runs an N-body integration inside a
+		// sandbox with no network and a private filesystem root.
+		box := sandbox.New(sandbox.Policy{MaxRuntime: time.Minute})
+		addr := h.Addr()
+		executor := func(prof grid.Profile) (int, error) {
+			out, err := box.Run(context.Background(), func(ctx context.Context, env *sandbox.Env) ([]byte, error) {
+				bodies := 64 + prof.InputKB*16
+				drift := nbody(bodies, 25)
+				report := fmt.Sprintf("node=%s bodies=%d energy-drift=%.2e", addr, bodies, drift)
+				if err := env.WriteFile("result.txt", []byte(report)); err != nil {
+					return nil, err
+				}
+				return []byte(report), nil
+			})
+			if err != nil {
+				return 0, err
+			}
+			fmt.Printf("  ran: %s\n", out)
+			return len(out) / 1024, nil
+		}
+		grids[i] = grid.NewNode(h, caps, "linux", overlay, &match.RNTree{RN: rn}, nil, grid.Config{
+			HeartbeatEvery:  200 * time.Millisecond,
+			IdlePoll:        50 * time.Millisecond,
+			MatchRetryEvery: 500 * time.Millisecond,
+			Executor:        executor,
+		})
+		rn.SetLoadFn(grids[i].QueueLen)
+
+		if i == 0 {
+			chords[0].Create()
+		}
+		_ = rn
+	}
+
+	// Join the ring sequentially, then start everything.
+	var wg sync.WaitGroup
+	for i := 1; i < N; i++ {
+		i := i
+		wg.Add(1)
+		hosts[i].Go("join", func(rt transport.Runtime) {
+			defer wg.Done()
+			for try := 0; try < 20; try++ {
+				if err := chords[i].Join(rt, hosts[0].Addr()); err == nil {
+					return
+				}
+				rt.Sleep(100 * time.Millisecond)
+			}
+		})
+	}
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		chords[i].Start()
+		grids[i].Start()
+	}
+	fmt.Printf("live grid up: %d peers on real TCP sockets\n", N)
+	time.Sleep(1500 * time.Millisecond) // ring + tree convergence
+
+	// Submit a small sweep; constraints steer big runs to fast peers.
+	done := make(chan bool, 1)
+	hosts[0].Go("client", func(rt transport.Runtime) {
+		for _, kb := range []int{2, 6, 10} {
+			job := grid.JobSpec{Work: time.Second, InputKB: kb}
+			if kb >= 10 {
+				job.Cons = job.Cons.Require(resource.CPU, 7)
+			}
+			if _, err := grids[0].Submit(rt, job); err != nil {
+				fmt.Fprintln(os.Stderr, "submit:", err)
+			}
+		}
+		done <- grids[0].AwaitAll(rt, rt.Now()+time.Minute) == 0
+	})
+	if ok := <-done; !ok {
+		fmt.Fprintln(os.Stderr, "some jobs did not finish")
+		os.Exit(1)
+	}
+	fmt.Println("all sandboxed N-body jobs completed and returned results")
+}

@@ -1,0 +1,161 @@
+package can
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+)
+
+// Join inserts this node into the CAN that bootstrap belongs to: pick a
+// representative point, route to the zone owning it, and split that
+// zone with the owner.
+func (n *Node) Join(rt transport.Runtime, bootstrap transport.Addr) error {
+	n.mu.Lock()
+	n.point = n.pointFor()
+	point := n.point
+	me := n.infoLocked()
+	n.mu.Unlock()
+
+	owner, _, err := n.RouteVia(rt, bootstrap, point)
+	if err != nil {
+		return fmt.Errorf("can: join route via %s: %w", bootstrap, err)
+	}
+	raw, err := rt.Call(owner.Addr, MJoin, JoinReq{Joiner: me})
+	if err != nil {
+		return fmt.Errorf("can: join split at %s: %w", owner.Addr, err)
+	}
+	resp := raw.(JoinResp)
+
+	n.mu.Lock()
+	n.zones = []Zone{resp.Zone}
+	n.neighbors = make(map[transport.Addr]*neighbor)
+	now := rt.Now()
+	for _, info := range resp.Neighbors {
+		if info.Ref.Addr == n.host.Addr() {
+			continue
+		}
+		n.neighbors[info.Ref.Addr] = &neighbor{info: info, lastSeen: now}
+	}
+	n.joined = true
+	n.mu.Unlock()
+
+	// Announce ourselves to the inherited neighbors immediately so they
+	// learn the new topology without waiting a gossip period.
+	n.gossipOnce(rt)
+	return nil
+}
+
+// handleJoin runs at the current owner of the joiner's point: split the
+// zone containing it and hand one half to the joiner.
+func (n *Node) handleJoin(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	joiner := req.(JoinReq).Joiner
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.joined {
+		return nil, ErrNotJoined
+	}
+	zi := -1
+	for i, z := range n.zones {
+		if z.Contains(joiner.Point) {
+			zi = i
+			break
+		}
+	}
+	if zi < 0 {
+		return nil, fmt.Errorf("can: %s does not own %v", n.host.Addr(), joiner.Point)
+	}
+	zone := n.zones[zi]
+	mine, theirs := splitFor(zone, n.point, joiner.Point)
+	n.zones[zi] = mine
+
+	// Starter neighbor set for the joiner: us plus every neighbor whose
+	// zones abut the joiner's new zone.
+	starters := []Info{n.infoLocked()}
+	for _, addr := range n.sortedNeighborAddrsLocked() {
+		nb := n.neighbors[addr]
+		if nb.dead != 0 {
+			continue
+		}
+		for _, z := range nb.info.Zones {
+			if z.Abuts(theirs) {
+				starters = append(starters, nb.info)
+				break
+			}
+		}
+	}
+	// Track the joiner as our neighbor.
+	jinfo := joiner
+	jinfo.Zones = []Zone{theirs}
+	n.neighbors[joiner.Ref.Addr] = &neighbor{info: jinfo, lastSeen: rt.Now()}
+	n.pruneNonAbuttingLocked()
+	return JoinResp{Zone: theirs, Neighbors: starters}, nil
+}
+
+// splitFor divides zone between the owner's point and the joiner's
+// point. When the points differ, the split falls midway between them
+// along the dimension of greatest separation (relative to zone extent),
+// guaranteeing each node keeps the half containing its own point. When
+// the points coincide (virtual dimension disabled and identical
+// capabilities — the paper's clustering pathology), the zone is halved
+// along its longest side and the owner keeps the half with the point.
+func splitFor(zone Zone, owner, joiner Point) (ownerZone, joinerZone Zone) {
+	bestDim, bestSep := -1, 0.0
+	for d := 0; d < Dims; d++ {
+		side := zone.Hi[d] - zone.Lo[d]
+		if side <= 0 {
+			continue
+		}
+		sep := abs(owner[d]-joiner[d]) / side
+		if sep > bestSep {
+			bestDim, bestSep = d, sep
+		}
+	}
+	if bestDim >= 0 {
+		at := (owner[bestDim] + joiner[bestDim]) / 2
+		// Guard against degenerate splits at the zone edge.
+		if at > zone.Lo[bestDim] && at < zone.Hi[bestDim] {
+			lo, hi := zone.Split(bestDim, at)
+			if owner[bestDim] < joiner[bestDim] {
+				return lo, hi
+			}
+			return hi, lo
+		}
+	}
+	// Identical (or degenerate) points: halve the longest side.
+	d := zone.LongestDim()
+	at := (zone.Lo[d] + zone.Hi[d]) / 2
+	lo, hi := zone.Split(d, at)
+	if owner[d] < at {
+		return lo, hi
+	}
+	return hi, lo
+}
+
+// pruneNonAbuttingLocked drops neighbors that no longer touch any of
+// our zones (zone geometry changed after splits or takeovers).
+func (n *Node) pruneNonAbuttingLocked() {
+	for addr, nb := range n.neighbors {
+		if n.abutsAnyLocked(nb.info.Zones) {
+			continue
+		}
+		delete(n.neighbors, addr)
+	}
+}
+
+func (n *Node) abutsAnyLocked(zones []Zone) bool {
+	for _, mine := range n.zones {
+		for _, theirs := range zones {
+			if mine.Abuts(theirs) || mine.Overlaps(theirs) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

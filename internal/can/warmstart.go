@@ -1,0 +1,121 @@
+package can
+
+import (
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// WarmStart partitions the space across a set of nodes exactly as a
+// sequence of joins would (in address order), then installs complete
+// neighbor tables, all without exchanging messages. Large experiments
+// use it to skip simulating thousands of join handshakes; the gossip
+// loops then maintain the structure.
+func WarmStart(nodes []*Node, now time.Duration) {
+	if len(nodes) == 0 {
+		return
+	}
+	sorted := make([]*Node, len(nodes))
+	copy(sorted, nodes)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].host.Addr() < sorted[j].host.Addr()
+	})
+
+	type holding struct {
+		n     *Node
+		zones []Zone
+	}
+	held := []*holding{{n: sorted[0], zones: []Zone{UnitZone()}}}
+	points := map[*Node]Point{sorted[0]: sorted[0].pointFor()}
+
+	for _, joiner := range sorted[1:] {
+		p := joiner.pointFor()
+		points[joiner] = p
+		// Find the zone containing the joiner's point.
+		var ownerH *holding
+		zi := -1
+		for _, h := range held {
+			for i, z := range h.zones {
+				if z.Contains(p) {
+					ownerH, zi = h, i
+					break
+				}
+			}
+			if ownerH != nil {
+				break
+			}
+		}
+		mine, theirs := splitFor(ownerH.zones[zi], points[ownerH.n], p)
+		ownerH.zones[zi] = mine
+		held = append(held, &holding{n: joiner, zones: []Zone{theirs}})
+	}
+
+	// Install zones and exact neighbor tables.
+	for _, h := range held {
+		h.n.mu.Lock()
+		h.n.point = points[h.n]
+		h.n.zones = h.zones
+		h.n.joined = true
+		h.n.neighbors = make(map[transport.Addr]*neighbor)
+		h.n.mu.Unlock()
+	}
+	infos := make([]Info, len(held))
+	for i, h := range held {
+		h.n.mu.Lock()
+		infos[i] = h.n.infoLocked()
+		h.n.mu.Unlock()
+	}
+	for i, h := range held {
+		h.n.mu.Lock()
+		for j, other := range held {
+			if i == j {
+				continue
+			}
+			if h.n.abutsAnyLocked(infos[j].Zones) {
+				h.n.neighbors[other.n.host.Addr()] = &neighbor{info: infos[j], lastSeen: now}
+			}
+		}
+		h.n.mu.Unlock()
+	}
+	// Seed directional load estimates.
+	for _, h := range held {
+		h.n.updateDirLoad()
+	}
+}
+
+// CoverageError checks that a set of nodes tiles the unit space: it
+// probes points on a grid and returns the first point owned by zero or
+// multiple nodes (diagnostics/tests). An empty string means full
+// single coverage.
+func CoverageError(nodes []*Node, gridSteps int) string {
+	probe := func(p Point) int {
+		owners := 0
+		for _, n := range nodes {
+			for _, z := range n.Zones() {
+				if z.Contains(p) {
+					owners++
+				}
+			}
+		}
+		return owners
+	}
+	var walk func(dim int, p Point) string
+	walk = func(dim int, p Point) string {
+		if dim == Dims {
+			if got := probe(p); got != 1 {
+				return p.String() + " owned by " + strconv.Itoa(got) + " nodes"
+			}
+			return ""
+		}
+		for i := 0; i < gridSteps; i++ {
+			p[dim] = (float64(i) + 0.5) / float64(gridSteps)
+			if msg := walk(dim+1, p); msg != "" {
+				return msg
+			}
+		}
+		return ""
+	}
+	return walk(0, Point{})
+}

@@ -1,0 +1,192 @@
+// Package can implements a Content-Addressable Network (Ratnasamy et
+// al., SIGCOMM 2001) specialized for resource matchmaking as in the
+// paper's Section 3.2: the space has one dimension per resource type
+// plus a virtual dimension whose uniformly random coordinate breaks up
+// clusters of identical nodes and jobs. Each node owns one or more
+// rectangular zones of the unit box, routes greedily through neighbor
+// zones, and gossips capability and load information used to pick the
+// least-loaded capable run node.
+//
+// Unlike classic CAN the space is a bounded box, not a torus: the
+// matchmaking semantics order each capability dimension ("upper regions
+// hold more capable nodes"), which wrap-around would destroy. Greedy
+// routing still always progresses because zones tile the box.
+package can
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/resource"
+)
+
+// Dims is the dimensionality of the CAN space: one per resource type
+// plus the virtual dimension.
+const Dims = int(resource.NumTypes) + 1
+
+// VirtualDim is the index of the virtual dimension.
+const VirtualDim = Dims - 1
+
+// Point is a position in the unit box [0,1)^Dims.
+type Point [Dims]float64
+
+func (p Point) String() string {
+	parts := make([]string, Dims)
+	for i, v := range p {
+		parts[i] = fmt.Sprintf("%.3f", v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// PointFor builds a node's or job's representative point from raw
+// resource values normalized by space, plus a virtual coordinate.
+func PointFor(space resource.Space, v resource.Vector, virtual float64) Point {
+	var p Point
+	n := space.Normalize(v)
+	for i := 0; i < int(resource.NumTypes); i++ {
+		p[i] = n[i]
+	}
+	if virtual < 0 {
+		virtual = 0
+	}
+	if virtual >= 1 {
+		virtual = 0.999999
+	}
+	p[VirtualDim] = virtual
+	return p
+}
+
+// Zone is a half-open box [Lo, Hi) in the unit space.
+type Zone struct {
+	Lo, Hi Point
+}
+
+// UnitZone covers the whole space.
+func UnitZone() Zone {
+	var z Zone
+	for i := range z.Hi {
+		z.Hi[i] = 1
+	}
+	return z
+}
+
+// Contains reports whether p lies inside the zone.
+func (z Zone) Contains(p Point) bool {
+	for i := range p {
+		if p[i] < z.Lo[i] || p[i] >= z.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Volume returns the zone's volume.
+func (z Zone) Volume() float64 {
+	v := 1.0
+	for i := range z.Lo {
+		side := z.Hi[i] - z.Lo[i]
+		if side <= 0 {
+			return 0
+		}
+		v *= side
+	}
+	return v
+}
+
+// Center returns the zone's midpoint.
+func (z Zone) Center() Point {
+	var c Point
+	for i := range c {
+		c[i] = (z.Lo[i] + z.Hi[i]) / 2
+	}
+	return c
+}
+
+// Dist returns the L1 distance from the zone to a point (zero if the
+// point is inside) — the greedy routing metric.
+func (z Zone) Dist(p Point) float64 {
+	d := 0.0
+	for i := range p {
+		switch {
+		case p[i] < z.Lo[i]:
+			d += z.Lo[i] - p[i]
+		case p[i] >= z.Hi[i]:
+			d += p[i] - z.Hi[i]
+		}
+	}
+	return d
+}
+
+// Split divides the zone at coordinate at along dim, returning the
+// lower and upper halves. It panics if at is not strictly inside.
+func (z Zone) Split(dim int, at float64) (lo, hi Zone) {
+	if at <= z.Lo[dim] || at >= z.Hi[dim] {
+		panic(fmt.Sprintf("can: split of %v at dim %d coord %v outside zone", z, dim, at))
+	}
+	lo, hi = z, z
+	lo.Hi[dim] = at
+	hi.Lo[dim] = at
+	return lo, hi
+}
+
+// Abuts reports whether two zones share a (Dims-1)-dimensional face:
+// they touch along exactly one dimension and their closed extents
+// overlap with positive measure in every other dimension.
+func (z Zone) Abuts(o Zone) bool {
+	touching := 0
+	for i := range z.Lo {
+		zl, zh, ol, oh := z.Lo[i], z.Hi[i], o.Lo[i], o.Hi[i]
+		if zh == ol || oh == zl {
+			touching++
+			continue
+		}
+		// Require positive overlap in this dimension.
+		lo := zl
+		if ol > lo {
+			lo = ol
+		}
+		hi := zh
+		if oh < hi {
+			hi = oh
+		}
+		if hi <= lo {
+			return false
+		}
+	}
+	return touching == 1
+}
+
+// Overlaps reports whether the zones share interior volume — used to
+// detect conflicting ownership after takeover races.
+func (z Zone) Overlaps(o Zone) bool {
+	for i := range z.Lo {
+		lo := z.Lo[i]
+		if o.Lo[i] > lo {
+			lo = o.Lo[i]
+		}
+		hi := z.Hi[i]
+		if o.Hi[i] < hi {
+			hi = o.Hi[i]
+		}
+		if hi <= lo {
+			return false
+		}
+	}
+	return true
+}
+
+func (z Zone) String() string {
+	return fmt.Sprintf("[%v..%v]", z.Lo, z.Hi)
+}
+
+// LongestDim returns the index of the zone's longest side (lowest index
+// on ties).
+func (z Zone) LongestDim() int {
+	best, bestLen := 0, z.Hi[0]-z.Lo[0]
+	for i := 1; i < Dims; i++ {
+		if l := z.Hi[i] - z.Lo[i]; l > bestLen {
+			best, bestLen = i, l
+		}
+	}
+	return best
+}

@@ -1,0 +1,221 @@
+package can
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+)
+
+func zone(lo, hi [Dims]float64) Zone { return Zone{Lo: lo, Hi: hi} }
+
+func TestUnitZoneContains(t *testing.T) {
+	u := UnitZone()
+	if !u.Contains(Point{0, 0, 0, 0}) {
+		t.Fatal("origin not contained")
+	}
+	if !u.Contains(Point{0.999, 0.5, 0.1, 0.7}) {
+		t.Fatal("interior point not contained")
+	}
+	if u.Contains(Point{1, 0, 0, 0}) {
+		t.Fatal("upper bound must be exclusive")
+	}
+	if u.Volume() != 1 {
+		t.Fatalf("unit volume = %v", u.Volume())
+	}
+}
+
+func TestSplitPartitionsZone(t *testing.T) {
+	u := UnitZone()
+	lo, hi := u.Split(1, 0.25)
+	if lo.Hi[1] != 0.25 || hi.Lo[1] != 0.25 {
+		t.Fatalf("split bounds: %v %v", lo, hi)
+	}
+	if v := lo.Volume() + hi.Volume(); v < 0.999999 || v > 1.000001 {
+		t.Fatalf("split volumes sum to %v", v)
+	}
+	p := Point{0.5, 0.2, 0.5, 0.5}
+	if !lo.Contains(p) || hi.Contains(p) {
+		t.Fatal("point membership after split wrong")
+	}
+}
+
+func TestSplitPanicsOutside(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	UnitZone().Split(0, 1.5)
+}
+
+func TestDist(t *testing.T) {
+	z := zone([Dims]float64{0.2, 0.2, 0.2, 0.2}, [Dims]float64{0.4, 0.4, 0.4, 0.4})
+	if z.Dist(Point{0.3, 0.3, 0.3, 0.3}) != 0 {
+		t.Fatal("interior distance nonzero")
+	}
+	got := z.Dist(Point{0.1, 0.3, 0.5, 0.3})
+	want := 0.1 + 0.1000000000000000 // below in dim0 by 0.1, above in dim2 by 0.1
+	if got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("Dist = %v, want %v", got, want)
+	}
+}
+
+func TestAbuts(t *testing.T) {
+	u := UnitZone()
+	lo, hi := u.Split(0, 0.5)
+	if !lo.Abuts(hi) || !hi.Abuts(lo) {
+		t.Fatal("split halves must abut")
+	}
+	// Further split the upper half along another dim; both quarters
+	// still abut the lower half.
+	q1, q2 := hi.Split(1, 0.5)
+	if !q1.Abuts(lo) || !q2.Abuts(lo) {
+		t.Fatal("quarters must abut lower half")
+	}
+	if !q1.Abuts(q2) {
+		t.Fatal("quarters must abut each other")
+	}
+	// Diagonal (corner-touching) zones do not abut.
+	a := zone([Dims]float64{0, 0, 0, 0}, [Dims]float64{0.5, 0.5, 1, 1})
+	b := zone([Dims]float64{0.5, 0.5, 0, 0}, [Dims]float64{1, 1, 1, 1})
+	if a.Abuts(b) {
+		t.Fatal("corner-touching zones must not abut")
+	}
+	if a.Abuts(a) {
+		t.Fatal("zone must not abut itself")
+	}
+}
+
+func TestOverlaps(t *testing.T) {
+	a := zone([Dims]float64{0, 0, 0, 0}, [Dims]float64{0.5, 1, 1, 1})
+	b := zone([Dims]float64{0.4, 0, 0, 0}, [Dims]float64{0.6, 1, 1, 1})
+	c := zone([Dims]float64{0.5, 0, 0, 0}, [Dims]float64{0.7, 1, 1, 1})
+	if !a.Overlaps(b) {
+		t.Fatal("overlapping zones not detected")
+	}
+	if a.Overlaps(c) {
+		t.Fatal("abutting zones must not overlap")
+	}
+}
+
+func TestSplitForSeparatesPoints(t *testing.T) {
+	u := UnitZone()
+	owner := Point{0.2, 0.5, 0.5, 0.5}
+	joiner := Point{0.8, 0.5, 0.5, 0.5}
+	oz, jz := splitFor(u, owner, joiner)
+	if !oz.Contains(owner) {
+		t.Fatalf("owner zone %v misses owner point", oz)
+	}
+	if !jz.Contains(joiner) {
+		t.Fatalf("joiner zone %v misses joiner point", jz)
+	}
+	if oz.Overlaps(jz) {
+		t.Fatal("halves overlap")
+	}
+}
+
+func TestSplitForIdenticalPoints(t *testing.T) {
+	u := UnitZone()
+	p := Point{0.3, 0.3, 0.3, 0.3}
+	oz, jz := splitFor(u, p, p)
+	if v := oz.Volume() + jz.Volume(); v < 0.999999 || v > 1.000001 {
+		t.Fatalf("volumes sum to %v", v)
+	}
+	if oz.Overlaps(jz) {
+		t.Fatal("halves overlap")
+	}
+	if !oz.Contains(p) && !jz.Contains(p) {
+		t.Fatal("point lost entirely")
+	}
+}
+
+func TestSplitForProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		var o, j Point
+		for d := range o {
+			o[d] = rng.Float64()
+			j[d] = rng.Float64()
+		}
+		oz, jz := splitFor(UnitZone(), o, j)
+		if oz.Overlaps(jz) {
+			t.Fatalf("overlap for %v %v", o, j)
+		}
+		if v := oz.Volume() + jz.Volume(); v < 0.999999 || v > 1.000001 {
+			t.Fatalf("volume leak for %v %v", o, j)
+		}
+		if !oz.Contains(o) {
+			t.Fatalf("owner displaced: %v not in %v", o, oz)
+		}
+		if !jz.Contains(j) {
+			t.Fatalf("joiner displaced: %v not in %v", j, jz)
+		}
+	}
+}
+
+func TestPointFor(t *testing.T) {
+	p := PointFor(resource.DefaultSpace, resource.Vector{10, 8192, 500}, 0.5)
+	for i := 0; i < int(resource.NumTypes); i++ {
+		if p[i] < 0 || p[i] >= 1 {
+			t.Fatalf("coordinate %d = %v outside [0,1)", i, p[i])
+		}
+	}
+	if p[VirtualDim] != 0.5 {
+		t.Fatalf("virtual = %v", p[VirtualDim])
+	}
+	// Clamping of the virtual coordinate.
+	if PointFor(resource.DefaultSpace, resource.Vector{}, 2)[VirtualDim] >= 1 {
+		t.Fatal("virtual not clamped")
+	}
+	if PointFor(resource.DefaultSpace, resource.Vector{}, -1)[VirtualDim] != 0 {
+		t.Fatal("negative virtual not clamped")
+	}
+}
+
+func TestLongestDim(t *testing.T) {
+	z := zone([Dims]float64{0, 0, 0, 0}, [Dims]float64{0.2, 0.9, 0.5, 0.5})
+	if z.LongestDim() != 1 {
+		t.Fatalf("LongestDim = %d", z.LongestDim())
+	}
+}
+
+func TestDistNonNegativeProperty(t *testing.T) {
+	f := func(a, b, c, d float64) bool {
+		p := Point{frac(a), frac(b), frac(c), frac(d)}
+		z := zone([Dims]float64{0.25, 0.25, 0.25, 0.25}, [Dims]float64{0.75, 0.75, 0.75, 0.75})
+		dist := z.Dist(p)
+		if dist < 0 {
+			return false
+		}
+		return (dist == 0) == z.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformFromID(t *testing.T) {
+	seen := map[float64]bool{}
+	for i := 0; i < 100; i++ {
+		v := uniformFromID(hashOf(i))
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform value %v out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("only %d distinct values in 100 draws", len(seen))
+	}
+}
+
+func frac(x float64) float64 {
+	if x < 0 {
+		x = -x
+	}
+	for x >= 1 {
+		x /= 2
+	}
+	return x
+}

@@ -1,0 +1,273 @@
+// Package experiments assembles full simulated deployments and drives
+// the paper's evaluation: every figure panel and every quantitative
+// claim in the text maps to one driver here (see DESIGN.md's
+// per-experiment index).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/can"
+	"repro/internal/chord"
+	"repro/internal/grid"
+	"repro/internal/match"
+	"repro/internal/metrics"
+	"repro/internal/rntree"
+	"repro/internal/sim"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// Algorithm selects the matchmaking system under test.
+type Algorithm int
+
+// The matchmakers compared in the paper (plus two extra baselines).
+const (
+	AlgRNTree Algorithm = iota
+	AlgCAN
+	AlgCANPush
+	AlgCentral
+	AlgTTL
+	AlgRandom
+)
+
+var algNames = [...]string{"rntree", "can", "can-push", "central", "ttl", "random"}
+
+func (a Algorithm) String() string {
+	if int(a) < len(algNames) {
+		return algNames[a]
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves an algorithm name.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for i, n := range algNames {
+		if n == s {
+			return Algorithm(i), nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown algorithm %q", s)
+}
+
+// Scenario describes one deployment to simulate.
+type Scenario struct {
+	Alg      Algorithm
+	Workload workload.Config
+	Grid     grid.Config
+	// NetSeed seeds network latency and protocol randomness
+	// independently of the workload seed.
+	NetSeed int64
+	// Maintenance starts the periodic overlay repair loops (needed only
+	// under churn; static experiments skip them for speed).
+	Maintenance bool
+	// DisableVirtualDim is the CAN clustering ablation.
+	DisableVirtualDim bool
+	// TTLBudget is the probe budget for the TTL baseline (default 10).
+	TTLBudget int
+	// ExtendedSearchK overrides the RN-Tree candidate target.
+	ExtendedSearchK int
+	// RandomWalkLen overrides the RN-Tree walk length (-1 disables).
+	RandomWalkLen int
+	// DrainSlack is how long past the last arrival the simulation may
+	// run to drain queues (default 40x mean runtime).
+	DrainSlack time.Duration
+	// Churn, if set, crashes that fraction of nodes (uniformly chosen,
+	// never clients) spread over the arrival window.
+	Churn float64
+	// NodeSpecs overrides the generated node population (the facade and
+	// examples use this to supply explicit per-node resources).
+	NodeSpecs []workload.NodeSpec
+	// MutateWorkload, if set, edits the generated workload before the
+	// deployment is wired (e.g. to plant rare-resource constraints).
+	MutateWorkload func(w *workload.Workload)
+}
+
+// Deployment is a fully-wired simulated grid.
+type Deployment struct {
+	Scenario  Scenario
+	Engine    *sim.Engine
+	Net       *simnet.Net
+	W         *workload.Workload
+	Hosts     []*simhost.Host
+	Eps       []*simnet.Endpoint
+	Grids     []*grid.Node
+	Chords    []*chord.Node
+	RNs       []*rntree.Node
+	CANs      []*can.Node
+	Registry  *match.Registry
+	Collector *metrics.Collector
+	ttls      []*match.TTL
+	clients   []int // grid node index serving each workload client
+}
+
+// Build constructs and wires the deployment; nothing runs yet.
+func Build(s Scenario) *Deployment {
+	w := workload.Generate(s.Workload)
+	if s.NodeSpecs != nil {
+		w.Nodes = s.NodeSpecs
+	}
+	if s.MutateWorkload != nil {
+		s.MutateWorkload(w)
+	}
+	e := sim.NewEngine(s.NetSeed)
+	net := simnet.New(e)
+	net.Latency = simnet.UniformLatency{Min: 10 * time.Millisecond, Max: 50 * time.Millisecond}
+
+	d := &Deployment{
+		Scenario:  s,
+		Engine:    e,
+		Net:       net,
+		W:         w,
+		Registry:  match.NewRegistry(),
+		Collector: metrics.NewCollector(),
+	}
+
+	n := len(w.Nodes)
+	needChord := s.Alg == AlgRNTree || s.Alg == AlgCentral || s.Alg == AlgTTL || s.Alg == AlgRandom
+	needCAN := s.Alg == AlgCAN || s.Alg == AlgCANPush
+
+	for i := 0; i < n; i++ {
+		ep := net.NewEndpoint(simnet.Addr(fmt.Sprintf("n%04d", i)))
+		h := simhost.New(ep)
+		d.Eps = append(d.Eps, ep)
+		d.Hosts = append(d.Hosts, h)
+		spec := w.Nodes[i]
+
+		var overlay grid.Overlay
+		var matcher grid.Matchmaker
+
+		if needChord {
+			ch := chord.New(h, chord.Config{})
+			d.Chords = append(d.Chords, ch)
+			switch s.Alg {
+			case AlgRNTree:
+				rcfg := rntree.Config{K: s.ExtendedSearchK}
+				if s.RandomWalkLen != 0 {
+					rcfg.RandomWalkLen = s.RandomWalkLen
+				}
+				rn := rntree.New(h, ch, spec.Caps, spec.OS, rcfg)
+				d.RNs = append(d.RNs, rn)
+				walk := rn
+				if s.RandomWalkLen < 0 {
+					walk = nil
+				}
+				overlay = &match.ChordOverlay{Chord: ch, Walk: walk}
+				matcher = &match.RNTree{RN: rn, K: s.ExtendedSearchK}
+			case AlgCentral:
+				overlay = &match.ChordOverlay{Chord: ch}
+				matcher = &match.Central{Reg: d.Registry}
+			case AlgRandom:
+				overlay = &match.ChordOverlay{Chord: ch}
+				matcher = &match.Random{Reg: d.Registry}
+			case AlgTTL:
+				overlay = &match.ChordOverlay{Chord: ch}
+				ttl := &match.TTL{
+					Self:      h.Addr(),
+					Caps:      spec.Caps,
+					OS:        spec.OS,
+					Budget:    s.TTLBudget,
+					Neighbors: ttlNeighborFn(ch),
+				}
+				d.ttls = append(d.ttls, ttl)
+				matcher = ttl
+			}
+		}
+		if needCAN {
+			cn := can.New(h, spec.Caps, spec.OS, can.Config{
+				DisableVirtualDim: s.DisableVirtualDim,
+				Space:             s.Workload.Space,
+			})
+			d.CANs = append(d.CANs, cn)
+			overlay = &match.CANOverlay{CAN: cn}
+			matcher = &match.CAN{CN: cn, Push: s.Alg == AlgCANPush}
+		}
+
+		gn := grid.NewNode(h, spec.Caps, spec.OS, overlay, matcher, d.Collector, s.Grid)
+		d.Grids = append(d.Grids, gn)
+		d.Registry.Register(h.Addr(), match.RegistryEntry{
+			Caps: spec.Caps,
+			OS:   spec.OS,
+			Load: gn.QueueLen,
+			Up:   ep.Up,
+		})
+	}
+
+	// Late wiring that needs the grid node.
+	for i := 0; i < n; i++ {
+		gn := d.Grids[i]
+		if len(d.RNs) > 0 {
+			d.RNs[i].SetLoadFn(gn.QueueLen)
+		}
+		if len(d.CANs) > 0 {
+			d.CANs[i].SetLoadFn(gn.QueueLen)
+		}
+		if s.Alg == AlgTTL {
+			// The TTL baseline also needs remote probes answered.
+			match.RegisterProbe(d.Hosts[i], w.Nodes[i].Caps, w.Nodes[i].OS, gn.QueueLen, ttlNeighborFn(d.Chords[i]))
+			d.ttls[i].Load = gn.QueueLen
+		}
+	}
+
+	// Converged overlays without simulating thousands of joins.
+	if needChord {
+		chord.WarmStart(d.Chords)
+	}
+	if len(d.RNs) > 0 {
+		rntree.WarmStart(d.RNs, time.Duration(e.Now()))
+	}
+	if needCAN {
+		can.WarmStart(d.CANs, time.Duration(e.Now()))
+	}
+
+	// Start node activities.
+	for i := 0; i < n; i++ {
+		d.Grids[i].Start()
+		if s.Maintenance {
+			if needChord {
+				d.Chords[i].Start()
+			}
+			if len(d.RNs) > 0 {
+				d.RNs[i].Start()
+			}
+			if needCAN {
+				d.CANs[i].Start()
+			}
+		}
+	}
+
+	// Map workload clients onto grid nodes, spread across the ID space.
+	clients := s.Workload.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	for c := 0; c < clients; c++ {
+		d.clients = append(d.clients, (c*n)/clients)
+	}
+	return d
+}
+
+func chordNeighbors(ch *chord.Node) []transport.Addr {
+	seen := map[transport.Addr]bool{}
+	var out []transport.Addr
+	for _, f := range ch.FingerTable() {
+		if !f.IsZero() && !seen[f.Addr] && f.Addr != ch.Ref().Addr {
+			seen[f.Addr] = true
+			out = append(out, f.Addr)
+		}
+	}
+	for _, s := range ch.SuccessorList() {
+		if !s.IsZero() && !seen[s.Addr] && s.Addr != ch.Ref().Addr {
+			seen[s.Addr] = true
+			out = append(out, s.Addr)
+		}
+	}
+	return out
+}
+
+func ttlNeighborFn(ch *chord.Node) func() []transport.Addr {
+	return func() []transport.Addr { return chordNeighbors(ch) }
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func opts(seed int64) Options {
+	return Options{Scale: 0.04, Seed: seed} // 40 nodes, 200 jobs
+}
+
+func TestBuildAndRunRNTree(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.03)
+	res := Build(Scenario{Alg: AlgRNTree, Workload: wcfg, NetSeed: 1}).Run()
+	if res.Delivered < res.Jobs*95/100 {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.Jobs)
+	}
+	if res.Wait.N == 0 || res.Wait.Mean < 0 {
+		t.Fatalf("wait stats empty: %+v", res.Wait)
+	}
+	if res.MatchCost.Mean <= 0 {
+		t.Fatalf("match cost not recorded: %+v", res.MatchCost)
+	}
+}
+
+func TestBuildAndRunCAN(t *testing.T) {
+	// Clustered populations: the quadrant where basic CAN behaves well.
+	// (Mixed+lightly is its documented pathology — asserted separately
+	// in TestFig2ShapesHold.)
+	wcfg := workload.NewConfig().Scale(0.03)
+	wcfg.NodePop = workload.Clustered
+	wcfg.JobPop = workload.Clustered
+	res := Build(Scenario{Alg: AlgCAN, Workload: wcfg, NetSeed: 2}).Run()
+	if res.Delivered < res.Jobs*90/100 {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.Jobs)
+	}
+}
+
+func TestBuildAndRunCentral(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.03)
+	res := Build(Scenario{Alg: AlgCentral, Workload: wcfg, NetSeed: 3}).Run()
+	if res.Delivered != res.Jobs {
+		t.Fatalf("central delivered %d/%d", res.Delivered, res.Jobs)
+	}
+}
+
+func TestBuildAndRunTTLAndRandom(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.02)
+	for _, alg := range []Algorithm{AlgTTL, AlgRandom} {
+		res := Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: 4, TTLBudget: 10}).Run()
+		if res.Delivered == 0 {
+			t.Fatalf("%s delivered nothing", alg)
+		}
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.02)
+	run := func() Results {
+		return Build(Scenario{Alg: AlgRNTree, Workload: wcfg, NetSeed: 9}).Run()
+	}
+	a, b := run(), run()
+	if a.Wait.Mean != b.Wait.Mean || a.Messages != b.Messages || a.Delivered != b.Delivered {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestFig2ShapesHold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-quadrant run")
+	}
+	rows, tbl := Fig2(workload.Mixed, opts(11))
+	t.Log("\n" + tbl.Format())
+	get := func(level workload.ConstraintLevel, alg Algorithm) Fig2Row {
+		for _, r := range rows {
+			if r.Level == level && r.Alg == alg {
+				return r
+			}
+		}
+		t.Fatalf("missing row %v/%v", level, alg)
+		return Fig2Row{}
+	}
+	// The paper's headline pathology: basic CAN on mixed nodes with
+	// lightly-constrained jobs is much worse than Centralized.
+	canLight := get(workload.Lightly, AlgCAN)
+	centralLight := get(workload.Lightly, AlgCentral)
+	if canLight.WaitStd < 2*centralLight.WaitStd && canLight.WaitMean < 2*centralLight.WaitMean {
+		t.Errorf("CAN pathology absent: can(avg %.1f std %.1f) vs central(avg %.1f std %.1f)",
+			canLight.WaitMean, canLight.WaitStd, centralLight.WaitMean, centralLight.WaitStd)
+	}
+	// RN-Tree stays within a reasonable factor of Centralized.
+	rnLight := get(workload.Lightly, AlgRNTree)
+	if rnLight.WaitMean > 10*centralLight.WaitMean+60 {
+		t.Errorf("RN-Tree far from central: %.1f vs %.1f", rnLight.WaitMean, centralLight.WaitMean)
+	}
+}
+
+func TestRobustnessCompletesUnderChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn sweep")
+	}
+	tbl := Robustness([]float64{0.15}, opts(13))
+	t.Log("\n" + tbl.Format())
+	if len(tbl.Rows) != 1 {
+		t.Fatal("row count")
+	}
+}
+
+func TestDHTBehaviorShapes(t *testing.T) {
+	rows, tbl := DHTBehavior([]int{32, 128}, Options{Seed: 7})
+	t.Log("\n" + tbl.Format())
+	if len(rows) != 2 {
+		t.Fatal("row count")
+	}
+	// Hops grow with N and track the analytic expectation loosely.
+	if rows[1].ChordHops <= rows[0].ChordHops*0.8 {
+		t.Errorf("chord hops did not grow: %+v", rows)
+	}
+	for _, r := range rows {
+		if r.ChordHops > 3*r.ChordExp+2 {
+			t.Errorf("chord hops %f far above expectation %f", r.ChordHops, r.ChordExp)
+		}
+		if r.CANHops > 4*r.CANExp+2 {
+			t.Errorf("can hops %f far above expectation %f", r.CANHops, r.CANExp)
+		}
+	}
+}
+
+func TestParseAlgorithm(t *testing.T) {
+	for i := 0; i < len(algNames); i++ {
+		a, err := ParseAlgorithm(algNames[i])
+		if err != nil || a != Algorithm(i) {
+			t.Fatalf("ParseAlgorithm(%s) = %v, %v", algNames[i], a, err)
+		}
+	}
+	if _, err := ParseAlgorithm("bogus"); err == nil {
+		t.Fatal("bogus accepted")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tbl := &Table{
+		Title:  "T",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"x", "y"}, {"longer", "z"}},
+		Notes:  []string{"hello"},
+	}
+	out := tbl.Format()
+	if len(out) == 0 || out[0] != 'T' {
+		t.Fatalf("format: %q", out)
+	}
+	tbl.SortRows()
+	if tbl.Rows[0][0] != "longer" {
+		t.Fatalf("sort: %v", tbl.Rows)
+	}
+}
+
+func TestScenarioDrainSlack(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.02)
+	start := time.Now()
+	res := Build(Scenario{Alg: AlgCentral, Workload: wcfg, NetSeed: 5, DrainSlack: 30 * time.Minute}).Run()
+	if res.Delivered != res.Jobs {
+		t.Fatalf("delivered %d/%d", res.Delivered, res.Jobs)
+	}
+	_ = start
+}

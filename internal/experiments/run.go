@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+)
+
+// Results aggregates one deployment run.
+type Results struct {
+	Alg       Algorithm
+	Nodes     int
+	Jobs      int
+	Delivered int
+	Started   int
+
+	Wait        metrics.Summary // seconds, submission -> execution start
+	Turnaround  metrics.Summary // seconds, submission -> result delivery
+	MatchCost   metrics.Summary // messages per match (route+search+walk+push)
+	MatchVisits metrics.Summary // nodes examined per match
+
+	ImbalanceCV      float64 // coefficient of variation of per-node completions
+	ImbalanceMaxMean float64
+
+	Messages int64 // total network messages
+
+	RunFailures   int // owner-detected run-node failures
+	OwnerFailures int // run-node-detected owner failures
+	Adoptions     int
+	Resubmits     int
+	MatchFailed   int
+	GaveUp        int
+
+	SimEnd time.Duration // virtual time when the run stopped
+}
+
+// Run executes the workload on the deployment: each client submits its
+// jobs at their arrival instants, and the simulation continues until
+// every job's result is delivered or the drain deadline passes.
+func (d *Deployment) Run() Results {
+	s := d.Scenario
+	w := d.W
+
+	// Partition jobs by client, preserving arrival order.
+	perClient := make([][]int, len(d.clients))
+	for ji, job := range w.Jobs {
+		c := job.Client % len(d.clients)
+		perClient[c] = append(perClient[c], ji)
+	}
+	for c, jobIdxs := range perClient {
+		node := d.Grids[d.clients[c]]
+		jobIdxs := jobIdxs
+		d.Hosts[d.clients[c]].Go("client.submit", func(rt transport.Runtime) {
+			for _, ji := range jobIdxs {
+				job := w.Jobs[ji]
+				if wait := job.Arrival - rt.Now(); wait > 0 {
+					rt.Sleep(wait)
+				}
+				_, _ = node.Submit(rt, grid.JobSpec{Cons: job.Cons, Work: job.Work, InputKB: 4})
+			}
+		})
+		if s.Churn > 0 {
+			node.StartClientMonitor(30 * time.Second)
+		}
+	}
+
+	// Churn injection: crash a fraction of non-client nodes across the
+	// arrival window.
+	if s.Churn > 0 {
+		clientSet := map[int]bool{}
+		for _, c := range d.clients {
+			clientSet[c] = true
+		}
+		rng := d.Engine.NewRand()
+		var victims []int
+		for i := range d.Grids {
+			if !clientSet[i] {
+				victims = append(victims, i)
+			}
+		}
+		rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+		kill := int(float64(len(victims)) * s.Churn)
+		span := w.Makespan()
+		if span == 0 {
+			span = time.Minute
+		}
+		for k := 0; k < kill; k++ {
+			at := time.Duration(float64(span) * (0.1 + 0.8*rng.Float64()))
+			victim := victims[k]
+			d.Engine.Schedule(at, func() { d.Eps[victim].Crash() })
+		}
+	}
+
+	drain := s.DrainSlack
+	if drain == 0 {
+		drain = 40 * s.Workload.MeanRuntime
+	}
+	deadline := w.Makespan() + drain
+	for {
+		d.Engine.RunFor(10 * time.Second)
+		if d.Collector.Count(grid.EvResultDelivered) >= len(w.Jobs) {
+			break
+		}
+		if time.Duration(d.Engine.Now()) >= deadline {
+			break
+		}
+	}
+	res := d.results()
+	d.Engine.Shutdown()
+	return res
+}
+
+func (d *Deployment) results() Results {
+	col := d.Collector
+	res := Results{
+		Alg:           d.Scenario.Alg,
+		Nodes:         len(d.Grids),
+		Jobs:          len(d.W.Jobs),
+		Delivered:     col.Count(grid.EvResultDelivered),
+		Started:       col.Count(grid.EvStarted),
+		Wait:          metrics.Summarize(col.WaitTimes()),
+		Turnaround:    metrics.Summarize(col.Turnarounds()),
+		MatchCost:     metrics.Summarize(col.MatchCosts()),
+		MatchVisits:   metrics.Summarize(col.MatchVisits()),
+		Messages:      d.Net.Stats.Messages,
+		RunFailures:   col.Count(grid.EvRunFailureDetected),
+		OwnerFailures: col.Count(grid.EvOwnerFailureDetected),
+		Adoptions:     col.Count(grid.EvOwnerAdopted),
+		Resubmits:     col.Count(grid.EvResubmitted),
+		MatchFailed:   col.Count(grid.EvMatchFailed),
+		GaveUp:        col.Count(grid.EvGaveUp),
+		SimEnd:        time.Duration(d.Engine.Now()),
+	}
+	perNode := make([]float64, 0, len(d.Grids))
+	for _, g := range d.Grids {
+		perNode = append(perNode, float64(g.Completed))
+	}
+	res.ImbalanceCV, res.ImbalanceMaxMean = metrics.Imbalance(perNode)
+	return res
+}
+
+// Table is a printable experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	out := t.Title + "\n"
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return s + "\n"
+	}
+	out += line(t.Header)
+	for _, w := range widths {
+		out += dashes(w) + "  "
+	}
+	out += "\n"
+	for _, row := range t.Rows {
+		out += line(row)
+	}
+	for _, n := range t.Notes {
+		out += "note: " + n + "\n"
+	}
+	return out
+}
+
+func dashes(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '-'
+	}
+	return string(b)
+}
+
+// SortRows orders rows lexicographically (stable output for goldens).
+func (t *Table) SortRows() {
+	sort.Slice(t.Rows, func(i, j int) bool {
+		for k := range t.Rows[i] {
+			if t.Rows[i][k] != t.Rows[j][k] {
+				return t.Rows[i][k] < t.Rows[j][k]
+			}
+		}
+		return false
+	})
+}
+
+// CSV renders the table as comma-separated values (header first).
+func (t *Table) CSV() string {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	line := func(cells []string) string {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		return strings.Join(out, ",") + "\n"
+	}
+	s := line(t.Header)
+	for _, row := range t.Rows {
+		s += line(row)
+	}
+	return s
+}

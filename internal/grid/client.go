@@ -1,0 +1,188 @@
+package grid
+
+import (
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/resource"
+	"repro/internal/transport"
+)
+
+// --- client role ---
+
+// JobSpec is a client-side job description.
+type JobSpec struct {
+	Cons     resource.Constraints
+	Work     time.Duration
+	InputKB  int
+	OutputKB int
+}
+
+// Submit inserts a new job through this node acting as its own
+// injection node, and tracks it for resubmission. It returns the job's
+// GUID.
+func (n *Node) Submit(rt transport.Runtime, spec JobSpec) (ids.ID, error) {
+	n.mu.Lock()
+	n.clientSeq++
+	seq := n.clientSeq
+	n.mu.Unlock()
+	return n.submitAttempt(rt, spec, seq, 0)
+}
+
+func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt int) (ids.ID, error) {
+	req := InjectReq{
+		Client:   n.host.Addr(),
+		Seq:      seq,
+		Attempt:  attempt,
+		Cons:     spec.Cons,
+		Work:     spec.Work,
+		InputKB:  spec.InputKB,
+		OutputKB: spec.OutputKB,
+	}
+	jobID := JobGUID(req.Client, seq, attempt)
+	n.mu.Lock()
+	n.pending[jobID] = &pendingJob{
+		seq:      seq,
+		attempt:  attempt,
+		cons:     spec.Cons,
+		work:     spec.Work,
+		inputKB:  spec.InputKB,
+		outputKB: spec.OutputKB,
+		submitAt: rt.Now(),
+	}
+	n.mu.Unlock()
+	n.rec.Record(Event{Kind: EvSubmitted, JobID: jobID, Attempt: attempt, At: rt.Now(), Node: n.host.Addr()})
+	resp, err := n.Inject(rt, req)
+	if err != nil {
+		return jobID, err
+	}
+	return resp.JobID, nil
+}
+
+// AwaitAll blocks until every job this node submitted has a result or
+// the deadline passes; it returns the number still pending.
+func (n *Node) AwaitAll(rt transport.Runtime, deadline time.Duration) int {
+	for {
+		n.mu.Lock()
+		waiting := 0
+		for _, p := range n.pending {
+			if !p.got {
+				waiting++
+			}
+		}
+		n.mu.Unlock()
+		if waiting == 0 {
+			return 0
+		}
+		if rt.Now() >= deadline {
+			return waiting
+		}
+		rt.Sleep(500 * time.Millisecond)
+	}
+}
+
+// PendingCount returns how many submitted jobs still lack results.
+func (n *Node) PendingCount() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	waiting := 0
+	for _, p := range n.pending {
+		if !p.got {
+			waiting++
+		}
+	}
+	return waiting
+}
+
+func (n *Node) handleResult(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	n.acceptResult(rt, req.(ResultReq).Res)
+	return ResultResp{}, nil
+}
+
+// acceptResult records a delivered result (first attempt wins; later
+// duplicates from recovery re-runs are ignored).
+func (n *Node) acceptResult(rt transport.Runtime, res Result) {
+	n.mu.Lock()
+	p, ok := n.pending[res.JobID]
+	fresh := ok && !p.got
+	if fresh {
+		p.got = true
+		p.resultAt = rt.Now()
+	}
+	n.mu.Unlock()
+	if fresh {
+		n.rec.Record(Event{
+			Kind: EvResultDelivered, JobID: res.JobID, Attempt: res.Attempt,
+			At: rt.Now(), Node: res.RunNode,
+		})
+	}
+}
+
+// StartClientMonitor launches the resubmission watchdog: if a job has
+// produced no result and its current owner no longer knows it (both
+// owner and run node lost it), the client resubmits with a fresh GUID.
+// resubmitAfter is the patience beyond the job's own expected runtime.
+func (n *Node) StartClientMonitor(resubmitAfter time.Duration) {
+	n.host.Go("grid.client", func(rt transport.Runtime) {
+		for {
+			rt.Sleep(n.cfg.HeartbeatEvery * 2)
+			now := rt.Now()
+			type check struct {
+				id   ids.ID
+				p    pendingJob
+				wait time.Duration
+			}
+			var checks []check
+			n.mu.Lock()
+			for id, p := range n.pending {
+				if p.got {
+					continue
+				}
+				patience := p.work*2 + resubmitAfter
+				if now-p.submitAt > patience {
+					checks = append(checks, check{id: id, p: *p})
+				}
+			}
+			n.mu.Unlock()
+			for _, c := range checks {
+				n.checkAndMaybeResubmit(rt, c.id, c.p)
+			}
+		}
+	})
+}
+
+// checkAndMaybeResubmit asks the job's current DHT owner whether it
+// still tracks the job; if not, the job is resubmitted as a new
+// attempt.
+func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendingJob) {
+	owner, _, err := n.overlay.RouteJob(rt, jobID, p.cons)
+	if err == nil {
+		var raw any
+		if owner == n.host.Addr() {
+			raw, err = n.handleStatus(rt, n.host.Addr(), StatusReq{JobID: jobID})
+		} else {
+			raw, err = rt.Call(owner, MStatus, StatusReq{JobID: jobID})
+		}
+		if err == nil && raw.(StatusResp).Known {
+			// Someone is still responsible; extend patience by resetting
+			// the submit clock.
+			n.mu.Lock()
+			if pp, ok := n.pending[jobID]; ok {
+				pp.submitAt = rt.Now()
+			}
+			n.mu.Unlock()
+			return
+		}
+	}
+	// Nobody owns the job anymore: resubmit under a fresh GUID.
+	n.mu.Lock()
+	if pp, ok := n.pending[jobID]; !ok || pp.got {
+		n.mu.Unlock()
+		return
+	}
+	delete(n.pending, jobID)
+	n.mu.Unlock()
+	n.rec.Record(Event{Kind: EvResubmitted, JobID: jobID, Attempt: p.attempt, At: rt.Now(), Node: n.host.Addr()})
+	spec := JobSpec{Cons: p.cons, Work: p.work, InputKB: p.inputKB, OutputKB: p.outputKB}
+	_, _ = n.submitAttempt(rt, spec, p.seq, p.attempt+1)
+}

@@ -1,0 +1,206 @@
+// Package grid implements the desktop-grid layer of the paper (Section
+// 2, Figure 1): clients inject jobs at any node, the injection node
+// assigns a GUID and routes the job to its owner node, the owner runs
+// matchmaking to choose a run node, run nodes execute jobs from a FIFO
+// queue one at a time while heartbeating every queued job to its owner
+// over a direct connection, and results return to the client.
+//
+// Robustness: the job profile is replicated at the owner and run node.
+// The owner detects run-node failure by heartbeat timeout and rematches
+// the job; the run node detects owner failure by heartbeat delivery
+// failure and routes the job's GUID to its new owner (the DHT
+// reassigns the key automatically); if both fail, the client's monitor
+// times out and resubmits.
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/resource"
+	"repro/internal/transport"
+)
+
+// Config tunes the grid layer. The zero value selects the defaults.
+type Config struct {
+	// HeartbeatEvery is the run node's per-owner heartbeat period
+	// (default 2 s).
+	HeartbeatEvery time.Duration
+	// RunDeadAfter is how long an owner waits without heartbeats before
+	// declaring a run node dead and rematching (default 8 s).
+	RunDeadAfter time.Duration
+	// OwnerDeadAfter is how long a run node tolerates failing
+	// heartbeats before seeking a new owner (default 8 s).
+	OwnerDeadAfter time.Duration
+	// IdlePoll is the run queue's idle polling interval (default 250 ms).
+	IdlePoll time.Duration
+	// MaxRematch bounds how many distinct run nodes the owner will try
+	// per job (default 5).
+	MaxRematch int
+	// MatchRetryEvery spaces retries when matchmaking finds no
+	// candidate (default 5 s).
+	MatchRetryEvery time.Duration
+	// ResultRetries bounds direct result-delivery attempts before the
+	// run node hands the result to the owner to relay (default 3).
+	ResultRetries int
+	// SpeedScaling divides a job's nominal work by the run node's CPU
+	// capability — the heterogeneous-runtime extension (default off:
+	// the paper's evaluation uses workload-specified runtimes).
+	SpeedScaling bool
+	// Executor, when set, performs the job's actual computation instead
+	// of sleeping for the nominal Work duration. Live deployments use it
+	// to run real (sandboxed) work; the simulator leaves it nil.
+	Executor func(prof Profile) (outputKB int, err error)
+	// FairShare changes the run queue discipline from the paper's FIFO
+	// to least-served-client-first — the fairness extension the paper
+	// leaves as future work ("allocating resources to requests from
+	// both users submitting large numbers of jobs at once ... and from
+	// users with smaller resource requirements").
+	FairShare bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = 2 * time.Second
+	}
+	if c.RunDeadAfter == 0 {
+		c.RunDeadAfter = 8 * time.Second
+	}
+	if c.OwnerDeadAfter == 0 {
+		c.OwnerDeadAfter = 8 * time.Second
+	}
+	if c.IdlePoll == 0 {
+		c.IdlePoll = 250 * time.Millisecond
+	}
+	if c.MaxRematch == 0 {
+		c.MaxRematch = 5
+	}
+	if c.MatchRetryEvery == 0 {
+		c.MatchRetryEvery = 5 * time.Second
+	}
+	if c.ResultRetries == 0 {
+		c.ResultRetries = 3
+	}
+	return c
+}
+
+// Profile describes a job: the paper's "data and associated profile".
+type Profile struct {
+	ID      ids.ID
+	Client  transport.Addr
+	Seq     int // client-local submission number
+	Attempt int // resubmission counter
+	Cons    resource.Constraints
+	// Work is the nominal execution time (divided by CPU capability
+	// when SpeedScaling is on).
+	Work time.Duration
+	// InputKB/OutputKB model the paper's "modest I/O requirements"
+	// (KB-scale datasets); they only affect recorded transfer sizes.
+	InputKB  int
+	OutputKB int
+}
+
+// JobGUID derives a job's GUID the way the paper's injection node does:
+// by hashing the submission identity.
+func JobGUID(client transport.Addr, seq, attempt int) ids.ID {
+	return ids.HashString(fmt.Sprintf("%s/%d/%d", client, seq, attempt))
+}
+
+// Result is what the run node returns to the client.
+type Result struct {
+	JobID    ids.ID
+	Attempt  int
+	RunNode  transport.Addr
+	Started  time.Duration
+	Finished time.Duration
+	OutputKB int
+	// Err reports an execution failure (the job ran but its computation
+	// returned an error); empty on success.
+	Err string
+}
+
+// MatchStats quantifies one matchmaking operation, aggregated across
+// whatever algorithm produced it.
+type MatchStats struct {
+	Hops        int // overlay messages used
+	Visits      int // nodes examined (tree search)
+	Pushes      int // CAN load-push steps
+	Escalations int // RN-Tree ancestor climbs
+	WalkHops    int // random-walk hops
+}
+
+// Overlay routes a job to its owner node.
+type Overlay interface {
+	// RouteJob returns the owner's address for a job plus overlay hop
+	// count.
+	RouteJob(rt transport.Runtime, jobID ids.ID, cons resource.Constraints) (transport.Addr, int, error)
+}
+
+// Matchmaker chooses a run node; it executes on the owner's host.
+type Matchmaker interface {
+	FindRunNode(rt transport.Runtime, cons resource.Constraints, exclude []transport.Addr) (transport.Addr, MatchStats, error)
+}
+
+// EventKind enumerates job lifecycle events.
+type EventKind int
+
+// Lifecycle events recorded through the Recorder.
+const (
+	EvSubmitted EventKind = iota
+	EvInjected
+	EvOwned
+	EvMatched
+	EvMatchFailed
+	EvEnqueued
+	EvStarted
+	EvCompleted
+	EvResultDelivered
+	EvRunFailureDetected
+	EvOwnerFailureDetected
+	EvOwnerAdopted
+	EvResubmitted
+	EvDropped
+	EvGaveUp
+)
+
+var eventNames = [...]string{
+	"submitted", "injected", "owned", "matched", "match-failed",
+	"enqueued", "started", "completed", "result-delivered",
+	"run-failure-detected", "owner-failure-detected", "owner-adopted",
+	"resubmitted", "dropped", "gave-up",
+}
+
+func (k EventKind) String() string {
+	if int(k) < len(eventNames) {
+		return eventNames[k]
+	}
+	return fmt.Sprintf("EventKind(%d)", int(k))
+}
+
+// Event is one recorded lifecycle step.
+type Event struct {
+	Kind    EventKind
+	JobID   ids.ID
+	Attempt int
+	At      time.Duration
+	Node    transport.Addr
+	Hops    int
+	Match   MatchStats
+}
+
+// Recorder receives lifecycle events; experiment harnesses install one
+// shared recorder to compute wait times and recovery counts.
+type Recorder interface {
+	Record(ev Event)
+}
+
+// RecorderFunc adapts a function to the Recorder interface.
+type RecorderFunc func(ev Event)
+
+// Record implements Recorder.
+func (f RecorderFunc) Record(ev Event) { f(ev) }
+
+type nopRecorder struct{}
+
+func (nopRecorder) Record(Event) {}

@@ -1,0 +1,492 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/resource"
+	"repro/internal/transport"
+)
+
+// Errors returned by the grid layer.
+var (
+	ErrConstraints = errors.New("grid: node does not satisfy job constraints")
+	ErrUnknownJob  = errors.New("grid: unknown job")
+)
+
+// RPC message types.
+type (
+	// InjectReq asks any node to insert a job for a client.
+	InjectReq struct {
+		Client   transport.Addr
+		Seq      int
+		Attempt  int
+		Cons     resource.Constraints
+		Work     time.Duration
+		InputKB  int
+		OutputKB int
+	}
+	// InjectResp confirms insertion: the assigned GUID and owner.
+	InjectResp struct {
+		JobID ids.ID
+		Owner transport.Addr
+		Hops  int
+	}
+	// OwnReq hands a job profile to its owner node.
+	OwnReq struct{ Prof Profile }
+	// OwnResp acknowledges ownership.
+	OwnResp struct{}
+	// AssignReq enqueues a job at a run node.
+	AssignReq struct {
+		Prof  Profile
+		Owner transport.Addr
+	}
+	// AssignResp acknowledges with the queue position.
+	AssignResp struct{ Position int }
+	// HeartbeatReq is the run node's periodic per-owner report.
+	HeartbeatReq struct {
+		Run  transport.Addr
+		Jobs []ids.ID
+	}
+	// HeartbeatResp lists jobs the run node should drop (reassigned or
+	// unknown to this owner).
+	HeartbeatResp struct{ Drop []ids.ID }
+	// CompleteReq tells the owner a job finished.
+	CompleteReq struct {
+		JobID ids.ID
+		Run   transport.Addr
+	}
+	// CompleteResp acknowledges completion.
+	CompleteResp struct{}
+	// ResultReq delivers a result to the client.
+	ResultReq struct{ Res Result }
+	// ResultResp acknowledges delivery.
+	ResultResp struct{}
+	// RelayReq asks the owner to deliver a result the run node could
+	// not deliver directly.
+	RelayReq struct{ Res Result }
+	// RelayResp acknowledges the relay request.
+	RelayResp struct{}
+	// AdoptReq asks a node to become the new owner of an orphaned job.
+	AdoptReq struct {
+		Prof Profile
+		Run  transport.Addr
+	}
+	// AdoptResp acknowledges adoption.
+	AdoptResp struct{}
+	// StatusReq asks an owner about a job.
+	StatusReq struct{ JobID ids.ID }
+	// StatusResp reports whether the owner tracks the job.
+	StatusResp struct {
+		Known   bool
+		Matched bool
+		Run     transport.Addr
+	}
+)
+
+// Method names registered on the host.
+const (
+	MInject    = "grid.inject"
+	MOwn       = "grid.own"
+	MAssign    = "grid.assign"
+	MHeartbeat = "grid.heartbeat"
+	MComplete  = "grid.complete"
+	MResult    = "grid.result"
+	MRelay     = "grid.relay"
+	MAdopt     = "grid.adopt"
+	MStatus    = "grid.status"
+)
+
+// ownedJob is the owner-side record of a job.
+type ownedJob struct {
+	prof     Profile
+	run      transport.Addr
+	matched  bool
+	excluded []transport.Addr
+	lastHB   time.Duration
+	matching bool
+	relay    *Result // result awaiting relay to the client
+}
+
+// queuedJob is the run-node-side record.
+type queuedJob struct {
+	prof  Profile
+	owner transport.Addr
+}
+
+// Node is one grid peer: simultaneously a potential injection node,
+// owner node, and run node, plus a client submitting its own jobs.
+type Node struct {
+	host    transport.Host
+	cfg     Config
+	caps    resource.Vector
+	os      string
+	overlay Overlay
+	matcher Matchmaker
+	rec     Recorder
+
+	mu      sync.Mutex
+	owned   map[ids.ID]*ownedJob
+	queue   []*queuedJob
+	running *queuedJob
+	done    map[ids.ID]bool // jobs completed or dropped on this run node
+	started bool
+
+	// client role
+	clientSeq int
+	pending   map[ids.ID]*pendingJob
+
+	// Stats, readable after a run.
+	Completed int64 // jobs this node finished as run node
+}
+
+type pendingJob struct {
+	seq      int
+	attempt  int
+	cons     resource.Constraints
+	work     time.Duration
+	inputKB  int
+	outputKB int
+	submitAt time.Duration
+	resultAt time.Duration
+	got      bool
+}
+
+// NewNode creates a grid peer bound to host, using the given overlay
+// for owner routing and matcher for run-node selection. rec may be nil.
+func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overlay, matcher Matchmaker, rec Recorder, cfg Config) *Node {
+	if rec == nil {
+		rec = nopRecorder{}
+	}
+	n := &Node{
+		host:    host,
+		cfg:     cfg.withDefaults(),
+		caps:    caps,
+		os:      os,
+		overlay: overlay,
+		matcher: matcher,
+		rec:     rec,
+		owned:   make(map[ids.ID]*ownedJob),
+		done:    make(map[ids.ID]bool),
+		pending: make(map[ids.ID]*pendingJob),
+	}
+	host.Handle(MInject, n.handleInject)
+	host.Handle(MOwn, n.handleOwn)
+	host.Handle(MAssign, n.handleAssign)
+	host.Handle(MHeartbeat, n.handleHeartbeat)
+	host.Handle(MComplete, n.handleComplete)
+	host.Handle(MResult, n.handleResult)
+	host.Handle(MRelay, n.handleRelay)
+	host.Handle(MAdopt, n.handleAdopt)
+	host.Handle(MStatus, n.handleStatus)
+	return n
+}
+
+// Caps returns the node's capability vector.
+func (n *Node) Caps() resource.Vector { return n.caps }
+
+// OS returns the node's operating system label.
+func (n *Node) OS() string { return n.os }
+
+// Addr returns the node's address.
+func (n *Node) Addr() transport.Addr { return n.host.Addr() }
+
+// QueueLen returns the run queue length including the running job —
+// the load metric matchmakers consume.
+func (n *Node) QueueLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := len(n.queue)
+	if n.running != nil {
+		l++
+	}
+	return l
+}
+
+// Start launches the node's background activities: the executor, the
+// heartbeat loop, and the owner monitor.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.host.Go("grid.exec", n.execLoop)
+	n.host.Go("grid.heartbeat", n.heartbeatLoop)
+	n.host.Go("grid.monitor", n.ownerMonitorLoop)
+}
+
+func (n *Node) record(kind EventKind, prof Profile, at time.Duration, extra ...MatchStats) {
+	ev := Event{Kind: kind, JobID: prof.ID, Attempt: prof.Attempt, At: at, Node: n.host.Addr()}
+	if len(extra) > 0 {
+		ev.Match = extra[0]
+	}
+	n.rec.Record(ev)
+}
+
+// --- injection ---
+
+// Inject performs the injection-node role locally: assign a GUID,
+// route to the owner, and hand the job over. Exposed for clients that
+// are themselves grid nodes.
+func (n *Node) Inject(rt transport.Runtime, req InjectReq) (InjectResp, error) {
+	prof := Profile{
+		ID:       JobGUID(req.Client, req.Seq, req.Attempt),
+		Client:   req.Client,
+		Seq:      req.Seq,
+		Attempt:  req.Attempt,
+		Cons:     req.Cons,
+		Work:     req.Work,
+		InputKB:  req.InputKB,
+		OutputKB: req.OutputKB,
+	}
+	owner, hops, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
+	if err != nil {
+		return InjectResp{}, fmt.Errorf("grid: route job %s: %w", prof.ID.Short(), err)
+	}
+	n.rec.Record(Event{Kind: EvInjected, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr(), Hops: hops})
+	if owner == n.host.Addr() {
+		n.ownJob(rt, prof)
+	} else if _, err := rt.Call(owner, MOwn, OwnReq{Prof: prof}); err != nil {
+		return InjectResp{}, fmt.Errorf("grid: hand job %s to owner %s: %w", prof.ID.Short(), owner, err)
+	}
+	return InjectResp{JobID: prof.ID, Owner: owner, Hops: hops}, nil
+}
+
+func (n *Node) handleInject(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	resp, err := n.Inject(rt, req.(InjectReq))
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- owner role ---
+
+func (n *Node) handleOwn(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	n.ownJob(rt, req.(OwnReq).Prof)
+	return OwnResp{}, nil
+}
+
+// ownJob records ownership and starts matchmaking asynchronously so the
+// injection path acknowledges quickly.
+func (n *Node) ownJob(rt transport.Runtime, prof Profile) {
+	n.mu.Lock()
+	if _, dup := n.owned[prof.ID]; dup {
+		n.mu.Unlock()
+		return
+	}
+	job := &ownedJob{prof: prof, lastHB: rt.Now(), matching: true}
+	n.owned[prof.ID] = job
+	n.mu.Unlock()
+	n.record(EvOwned, prof, rt.Now())
+	n.host.Go("grid.match", func(rt transport.Runtime) {
+		n.matchAndAssign(rt, prof.ID)
+	})
+}
+
+// matchAndAssign chooses a run node for an owned job and hands the job
+// to it, retrying with exclusions on assignment failure.
+func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
+	defer func() {
+		n.mu.Lock()
+		if job, ok := n.owned[jobID]; ok {
+			job.matching = false
+		}
+		n.mu.Unlock()
+	}()
+	for tries := 0; tries < n.cfg.MaxRematch; tries++ {
+		n.mu.Lock()
+		job, ok := n.owned[jobID]
+		if !ok {
+			n.mu.Unlock()
+			return
+		}
+		prof := job.prof
+		excluded := append([]transport.Addr(nil), job.excluded...)
+		n.mu.Unlock()
+
+		run, stats, err := n.matcher.FindRunNode(rt, prof.Cons, excluded)
+		if err != nil {
+			n.record(EvMatchFailed, prof, rt.Now(), stats)
+			rt.Sleep(n.cfg.MatchRetryEvery)
+			continue
+		}
+		var assignErr error
+		if run == n.host.Addr() {
+			_, assignErr = n.assign(rt, AssignReq{Prof: prof, Owner: n.host.Addr()})
+		} else {
+			_, assignErr = rt.Call(run, MAssign, AssignReq{Prof: prof, Owner: n.host.Addr()})
+		}
+		if assignErr != nil {
+			n.mu.Lock()
+			if job, ok := n.owned[jobID]; ok {
+				job.excluded = append(job.excluded, run)
+			}
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Lock()
+		if job, ok := n.owned[jobID]; ok {
+			job.run = run
+			job.matched = true
+			job.lastHB = rt.Now()
+		}
+		n.mu.Unlock()
+		n.record(EvMatched, prof, rt.Now(), stats)
+		return
+	}
+	n.mu.Lock()
+	job, ok := n.owned[jobID]
+	var prof Profile
+	if ok {
+		prof = job.prof
+		delete(n.owned, jobID)
+	}
+	n.mu.Unlock()
+	if ok {
+		n.record(EvGaveUp, prof, rt.Now())
+	}
+}
+
+// ownerMonitorLoop watches heartbeats of owned jobs and rematches jobs
+// whose run node has gone silent; it also retries pending result
+// relays.
+func (n *Node) ownerMonitorLoop(rt transport.Runtime) {
+	for {
+		rt.Sleep(n.cfg.HeartbeatEvery)
+		now := rt.Now()
+		var rematch []ids.ID
+		var relays []Result
+		n.mu.Lock()
+		jobIDs := make([]ids.ID, 0, len(n.owned))
+		for id := range n.owned {
+			jobIDs = append(jobIDs, id)
+		}
+		sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i].Less(jobIDs[j]) })
+		for _, id := range jobIDs {
+			job := n.owned[id]
+			if job.relay != nil {
+				relays = append(relays, *job.relay)
+				continue
+			}
+			if !job.matched || job.matching {
+				continue
+			}
+			if now-job.lastHB > n.cfg.RunDeadAfter {
+				job.excluded = append(job.excluded, job.run)
+				job.matched = false
+				job.matching = true
+				rematch = append(rematch, id)
+			}
+		}
+		n.mu.Unlock()
+		for _, id := range rematch {
+			n.mu.Lock()
+			prof := n.owned[id].prof
+			n.mu.Unlock()
+			n.record(EvRunFailureDetected, prof, now)
+			id := id
+			n.host.Go("grid.rematch", func(rt transport.Runtime) {
+				n.matchAndAssign(rt, id)
+			})
+		}
+		for _, res := range relays {
+			n.tryRelay(rt, res)
+		}
+	}
+}
+
+// tryRelay forwards a result to the client on the run node's behalf.
+func (n *Node) tryRelay(rt transport.Runtime, res Result) {
+	n.mu.Lock()
+	job, ok := n.owned[res.JobID]
+	var clientAddr transport.Addr
+	if ok {
+		clientAddr = job.prof.Client
+	}
+	n.mu.Unlock()
+	if !ok {
+		return
+	}
+	if _, err := rt.Call(clientAddr, MResult, ResultReq{Res: res}); err == nil {
+		n.mu.Lock()
+		delete(n.owned, res.JobID)
+		n.mu.Unlock()
+	}
+}
+
+func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	c := req.(CompleteReq)
+	n.mu.Lock()
+	job, ok := n.owned[c.JobID]
+	if ok && job.relay == nil {
+		delete(n.owned, c.JobID)
+	}
+	n.mu.Unlock()
+	if ok {
+		n.record(EvCompleted, job.prof, rt.Now())
+	}
+	return CompleteResp{}, nil
+}
+
+func (n *Node) handleRelay(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	r := req.(RelayReq)
+	n.mu.Lock()
+	if job, ok := n.owned[r.Res.JobID]; ok {
+		res := r.Res
+		job.relay = &res
+	}
+	n.mu.Unlock()
+	return RelayResp{}, nil
+}
+
+func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	a := req.(AdoptReq)
+	n.mu.Lock()
+	if _, dup := n.owned[a.Prof.ID]; !dup {
+		n.owned[a.Prof.ID] = &ownedJob{
+			prof:    a.Prof,
+			run:     a.Run,
+			matched: true,
+			lastHB:  rt.Now(),
+		}
+	}
+	n.mu.Unlock()
+	n.record(EvOwnerAdopted, a.Prof, rt.Now())
+	return AdoptResp{}, nil
+}
+
+func (n *Node) handleStatus(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	s := req.(StatusReq)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	job, ok := n.owned[s.JobID]
+	if !ok {
+		return StatusResp{}, nil
+	}
+	return StatusResp{Known: true, Matched: job.matched, Run: job.run}, nil
+}
+
+func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	hb := req.(HeartbeatReq)
+	var drop []ids.ID
+	now := rt.Now()
+	n.mu.Lock()
+	for _, id := range hb.Jobs {
+		job, ok := n.owned[id]
+		if !ok || (job.matched && job.run != hb.Run) {
+			drop = append(drop, id)
+			continue
+		}
+		job.lastHB = now
+	}
+	n.mu.Unlock()
+	return HeartbeatResp{Drop: drop}, nil
+}

@@ -1,0 +1,97 @@
+package grid_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/match"
+	"repro/internal/resource"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// TestResultRelayThroughOwner exercises the paper's "owner node is
+// responsible for ... ensuring that its results are returned to the
+// client": the client is partitioned away while its job completes, the
+// run node's direct delivery fails, and the owner relays the result
+// once the partition heals.
+func TestResultRelayThroughOwner(t *testing.T) {
+	cfg := grid.Config{HeartbeatEvery: time.Second, ResultRetries: 2}
+	c := newCluster(t, 4, 21, cfg, func(i int) (resource.Vector, string) {
+		// Node 0 is the owner (switchable overlay) but cannot run jobs,
+		// and node 3 (the client) cannot either: the job must land on
+		// node 1 or 2.
+		cpu := 5.0
+		if i == 0 || i == 3 {
+			cpu = 1
+		}
+		return resource.Vector{cpu, 4096, 100}, "linux"
+	})
+	defer c.e.Shutdown()
+	clientAddr := simnet.Addr(c.hosts[3].Addr())
+	cons := resource.Unconstrained.Require(resource.CPU, 2)
+
+	c.do(3, func(rt transport.Runtime) {
+		if _, err := c.nodes[3].Submit(rt, grid.JobSpec{Cons: cons, Work: 10 * time.Second}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		for c.rec.count(grid.EvStarted) == 0 {
+			rt.Sleep(time.Second)
+		}
+	})
+
+	// Partition the client from everyone. The job finishes, direct
+	// delivery fails, the run node hands the result to the owner.
+	c.net.SetReachable(func(a, b simnet.Addr) bool {
+		return a != clientAddr && b != clientAddr
+	})
+	c.e.RunFor(60 * time.Second)
+	if got := c.rec.count(grid.EvResultDelivered); got != 0 {
+		t.Fatalf("result delivered through a partition (%d)", got)
+	}
+
+	// Heal: the owner's monitor loop retries the relay.
+	c.net.SetReachable(nil)
+	c.e.RunFor(2 * time.Minute)
+	if got := c.rec.count(grid.EvResultDelivered); got != 1 {
+		t.Fatalf("relay after heal delivered %d results, want 1", got)
+	}
+}
+
+// TestMatchRetryAfterTransientFailure verifies that an owner that finds
+// no candidate keeps retrying and succeeds once capacity appears (here:
+// a capable node joins the matchmaker's view mid-run).
+func TestMatchRetryAfterTransientFailure(t *testing.T) {
+	cfg := grid.Config{MatchRetryEvery: 2 * time.Second, MaxRematch: 10}
+	c := newCluster(t, 3, 22, cfg, func(i int) (resource.Vector, string) {
+		cpu := 1.0
+		if i == 2 {
+			cpu = 8 // the only capable node...
+		}
+		return resource.Vector{cpu, 1024, 50}, "linux"
+	})
+	defer c.e.Shutdown()
+	// ...but it is invisible to the matchmaker until t=6s.
+	appeared := false
+	c.reg.Register(c.hosts[2].Addr(), match.RegistryEntry{
+		Caps: resource.Vector{8, 1024, 50},
+		OS:   "linux",
+		Load: c.nodes[2].QueueLen,
+		Up:   func() bool { return appeared && c.eps[2].Up() },
+	})
+	c.e.Schedule(6*time.Second, func() { appeared = true })
+
+	cons := resource.Unconstrained.Require(resource.CPU, 5)
+	c.do(0, func(rt transport.Runtime) {
+		if _, err := c.nodes[0].Submit(rt, grid.JobSpec{Cons: cons, Work: 5 * time.Second}); err != nil {
+			t.Fatalf("submit: %v", err)
+		}
+		if left := c.nodes[0].AwaitAll(rt, rt.Now()+5*time.Minute); left != 0 {
+			t.Fatalf("%d unfinished", left)
+		}
+	})
+	if c.rec.count(grid.EvMatchFailed) == 0 {
+		t.Fatal("expected at least one failed match before capacity appeared")
+	}
+}

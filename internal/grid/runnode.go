@@ -1,0 +1,283 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// --- run-node role ---
+
+// assign validates and enqueues a job locally.
+func (n *Node) assign(rt transport.Runtime, req AssignReq) (AssignResp, error) {
+	if !req.Prof.Cons.SatisfiedBy(n.caps, n.os) {
+		return AssignResp{}, fmt.Errorf("%w: %s on %s", ErrConstraints, req.Prof.Cons, n.host.Addr())
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Idempotence: re-assignment of a job we already hold just updates
+	// the owner (the owner may have changed after adoption).
+	if n.running != nil && n.running.prof.ID == req.Prof.ID {
+		n.running.owner = req.Owner
+		return AssignResp{Position: 0}, nil
+	}
+	for i, q := range n.queue {
+		if q.prof.ID == req.Prof.ID {
+			q.owner = req.Owner
+			return AssignResp{Position: i + 1}, nil
+		}
+	}
+	delete(n.done, req.Prof.ID)
+	n.queue = append(n.queue, &queuedJob{prof: req.Prof, owner: req.Owner})
+	pos := len(n.queue)
+	if n.running != nil {
+		pos++
+	}
+	n.record(EvEnqueued, req.Prof, rt.Now())
+	return AssignResp{Position: pos}, nil
+}
+
+func (n *Node) handleAssign(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	resp, err := n.assign(rt, req.(AssignReq))
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// execLoop is the run node's executor: one job at a time, FIFO by
+// default, least-served-client-first under the FairShare extension.
+func (n *Node) execLoop(rt transport.Runtime) {
+	served := make(map[transport.Addr]int)
+	for {
+		n.mu.Lock()
+		var job *queuedJob
+		if len(n.queue) > 0 {
+			pick := 0
+			if n.cfg.FairShare {
+				for i, q := range n.queue {
+					if served[q.prof.Client] < served[n.queue[pick].prof.Client] {
+						pick = i
+					}
+				}
+			}
+			job = n.queue[pick]
+			n.queue = append(n.queue[:pick], n.queue[pick+1:]...)
+			n.running = job
+			served[job.prof.Client]++
+		}
+		n.mu.Unlock()
+		if job == nil {
+			rt.Sleep(n.cfg.IdlePoll)
+			continue
+		}
+		started := rt.Now()
+		n.record(EvStarted, job.prof, started)
+		n.executeAndReport(rt, job, started)
+	}
+}
+
+// execTime returns the job's execution duration on this node.
+func (n *Node) execTime(prof Profile) time.Duration {
+	if !n.cfg.SpeedScaling {
+		return prof.Work
+	}
+	speed := n.caps[0]
+	if speed < 0.1 {
+		speed = 0.1
+	}
+	return time.Duration(float64(prof.Work) / speed)
+}
+
+// executeAndReport runs one job to completion and delivers the result.
+func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started time.Duration) {
+	outKB := job.prof.OutputKB
+	execErr := ""
+	if n.cfg.Executor != nil {
+		kb, err := n.cfg.Executor(job.prof)
+		if err != nil {
+			execErr = err.Error()
+		} else {
+			outKB = kb
+		}
+	} else {
+		rt.Sleep(n.execTime(job.prof))
+	}
+	finished := rt.Now()
+
+	n.mu.Lock()
+	dropped := n.done[job.prof.ID]
+	n.running = nil
+	n.done[job.prof.ID] = true
+	owner := job.owner
+	n.mu.Unlock()
+	if dropped {
+		// The owner reassigned this job while we ran it; discard.
+		return
+	}
+	n.Completed++
+
+	res := Result{
+		JobID:    job.prof.ID,
+		Attempt:  job.prof.Attempt,
+		RunNode:  n.host.Addr(),
+		Started:  started,
+		Finished: finished,
+		OutputKB: outKB,
+		Err:      execErr,
+	}
+	// Deliver the result first, then release the owner: completing
+	// before delivery would make the owner forget the job and lose the
+	// relay fallback.
+	delivered := n.deliverResult(rt, job.prof, owner, res)
+	if delivered {
+		if owner == n.host.Addr() {
+			_, _ = n.handleComplete(rt, n.host.Addr(), CompleteReq{JobID: res.JobID, Run: n.host.Addr()})
+		} else {
+			_, _ = rt.Call(owner, MComplete, CompleteReq{JobID: res.JobID, Run: n.host.Addr()})
+		}
+	}
+}
+
+// deliverResult returns the result to the client directly, falling back
+// to relaying through the owner — the owner is "responsible for ...
+// ensuring that its results are returned to the client". It reports
+// whether direct delivery succeeded; on the relay path the owner keeps
+// the job until its own delivery attempt lands.
+func (n *Node) deliverResult(rt transport.Runtime, prof Profile, owner transport.Addr, res Result) bool {
+	if prof.Client == n.host.Addr() {
+		n.acceptResult(rt, res)
+		return true
+	}
+	for try := 0; try < n.cfg.ResultRetries; try++ {
+		if _, err := rt.Call(prof.Client, MResult, ResultReq{Res: res}); err == nil {
+			return true
+		}
+		rt.Sleep(time.Second)
+	}
+	if owner == n.host.Addr() {
+		_, _ = n.handleRelay(rt, n.host.Addr(), RelayReq{Res: res})
+	} else {
+		_, _ = rt.Call(owner, MRelay, RelayReq{Res: res})
+	}
+	return false
+}
+
+// heartbeatLoop implements the paper's soft-state heartbeats: every
+// period, the run node reports each job in its queue (including jobs
+// not yet running) to that job's owner over a direct connection. If an
+// owner stays unreachable beyond OwnerDeadAfter, the run node routes
+// the job's GUID to find the new owner and asks it to adopt the job.
+func (n *Node) heartbeatLoop(rt transport.Runtime) {
+	ownerSilentSince := make(map[transport.Addr]time.Duration)
+	for {
+		rt.Sleep(n.cfg.HeartbeatEvery)
+		now := rt.Now()
+
+		n.mu.Lock()
+		byOwner := make(map[transport.Addr][]ids.ID)
+		profs := make(map[ids.ID]Profile)
+		jobs := make([]*queuedJob, 0, len(n.queue)+1)
+		if n.running != nil {
+			jobs = append(jobs, n.running)
+		}
+		jobs = append(jobs, n.queue...)
+		for _, q := range jobs {
+			byOwner[q.owner] = append(byOwner[q.owner], q.prof.ID)
+			profs[q.prof.ID] = q.prof
+		}
+		n.mu.Unlock()
+
+		owners := make([]transport.Addr, 0, len(byOwner))
+		for o := range byOwner {
+			owners = append(owners, o)
+		}
+		sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+
+		for _, owner := range owners {
+			jobIDs := byOwner[owner]
+			var resp any
+			var err error
+			if owner == n.host.Addr() {
+				resp, err = n.handleHeartbeat(rt, n.host.Addr(), HeartbeatReq{Run: n.host.Addr(), Jobs: jobIDs})
+			} else {
+				resp, err = rt.Call(owner, MHeartbeat, HeartbeatReq{Run: n.host.Addr(), Jobs: jobIDs})
+			}
+			if err != nil {
+				if _, ok := ownerSilentSince[owner]; !ok {
+					ownerSilentSince[owner] = now
+				} else if now-ownerSilentSince[owner] > n.cfg.OwnerDeadAfter {
+					delete(ownerSilentSince, owner)
+					for _, id := range jobIDs {
+						n.record(EvOwnerFailureDetected, profs[id], now)
+						n.reassignOwner(rt, profs[id], owner)
+					}
+				}
+				continue
+			}
+			delete(ownerSilentSince, owner)
+			hb := resp.(HeartbeatResp)
+			if len(hb.Drop) > 0 {
+				n.dropJobs(hb.Drop)
+			}
+		}
+	}
+}
+
+// reassignOwner routes a job's GUID to its current DHT owner and asks
+// it to adopt the job; the run node then reports heartbeats there.
+func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner transport.Addr) {
+	newOwner, _, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
+	if err != nil || newOwner == deadOwner {
+		return // retry on a later heartbeat round
+	}
+	if newOwner == n.host.Addr() {
+		n.mu.Lock()
+		_, dup := n.owned[prof.ID]
+		if !dup {
+			n.owned[prof.ID] = &ownedJob{prof: prof, run: n.host.Addr(), matched: true, lastHB: rt.Now()}
+		}
+		n.mu.Unlock()
+		if !dup {
+			n.record(EvOwnerAdopted, prof, rt.Now())
+		}
+	} else if _, err := rt.Call(newOwner, MAdopt, AdoptReq{Prof: prof, Run: n.host.Addr()}); err != nil {
+		return
+	}
+	n.mu.Lock()
+	if n.running != nil && n.running.prof.ID == prof.ID {
+		n.running.owner = newOwner
+	}
+	for _, q := range n.queue {
+		if q.prof.ID == prof.ID {
+			q.owner = newOwner
+		}
+	}
+	n.mu.Unlock()
+}
+
+// dropJobs removes queued jobs the owner disavowed; a currently-running
+// job is marked so its result is discarded.
+func (n *Node) dropJobs(drop []ids.ID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	dropSet := make(map[ids.ID]bool, len(drop))
+	for _, id := range drop {
+		dropSet[id] = true
+	}
+	kept := n.queue[:0]
+	for _, q := range n.queue {
+		if dropSet[q.prof.ID] {
+			n.done[q.prof.ID] = true
+			continue
+		}
+		kept = append(kept, q)
+	}
+	n.queue = kept
+	if n.running != nil && dropSet[n.running.prof.ID] {
+		n.done[n.running.prof.ID] = true
+	}
+}

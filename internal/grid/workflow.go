@@ -1,0 +1,119 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// The paper leaves inter-job dependencies to future work, suggesting
+// Condor's DAGMan: an orchestrator *outside* the scheduler that submits
+// jobs in dependency order ("perform the jobs in the correct order
+// (analysis after simulation of a given problem)"). Workflow is that
+// orchestrator: a client-side DAG runner over the grid's independent
+// jobs, requiring no changes to owners or run nodes.
+
+// Task is one node of a workflow DAG.
+type Task struct {
+	Name      string
+	Spec      JobSpec
+	DependsOn []string
+}
+
+// Workflow is a set of tasks with dependencies.
+type Workflow struct {
+	Tasks []Task
+}
+
+// Errors returned by RunWorkflow.
+var (
+	ErrWorkflowCycle = errors.New("grid: workflow has a cycle or missing dependency")
+	ErrWorkflowStall = errors.New("grid: workflow deadline passed")
+)
+
+// TaskResult records one task's completion.
+type TaskResult struct {
+	Name     string
+	JobID    ids.ID
+	Started  time.Duration
+	Finished time.Duration
+}
+
+// RunWorkflow executes the DAG: tasks whose dependencies have all
+// delivered results are submitted (concurrently, as independent grid
+// jobs); the call returns when every task finished or the deadline
+// passed. It must run in a client activity on this node's host.
+func (n *Node) RunWorkflow(rt transport.Runtime, wf Workflow, deadline time.Duration) (map[string]TaskResult, error) {
+	byName := make(map[string]*Task, len(wf.Tasks))
+	for i := range wf.Tasks {
+		t := &wf.Tasks[i]
+		if _, dup := byName[t.Name]; dup {
+			return nil, fmt.Errorf("grid: duplicate task %q", t.Name)
+		}
+		byName[t.Name] = t
+	}
+	for _, t := range wf.Tasks {
+		for _, d := range t.DependsOn {
+			if _, ok := byName[d]; !ok {
+				return nil, fmt.Errorf("%w: task %q depends on unknown %q", ErrWorkflowCycle, t.Name, d)
+			}
+		}
+	}
+
+	results := make(map[string]TaskResult, len(wf.Tasks))
+	submitted := make(map[string]ids.ID)
+
+	for len(results) < len(wf.Tasks) {
+		// Submit every task whose dependencies are complete.
+		progress := false
+		for _, t := range wf.Tasks {
+			if _, done := results[t.Name]; done {
+				continue
+			}
+			if _, inFlight := submitted[t.Name]; inFlight {
+				continue
+			}
+			ready := true
+			for _, d := range t.DependsOn {
+				if _, ok := results[d]; !ok {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			jobID, err := n.Submit(rt, t.Spec)
+			if err != nil {
+				return results, fmt.Errorf("grid: submit task %q: %w", t.Name, err)
+			}
+			submitted[t.Name] = jobID
+			progress = true
+		}
+		// Harvest completions.
+		n.mu.Lock()
+		for name, jobID := range submitted {
+			if p, ok := n.pending[jobID]; ok && p.got {
+				results[name] = TaskResult{Name: name, JobID: jobID, Finished: p.resultAt}
+				delete(submitted, name)
+				progress = true
+			}
+		}
+		n.mu.Unlock()
+		if len(results) == len(wf.Tasks) {
+			return results, nil
+		}
+		if len(submitted) == 0 && !progress {
+			// Nothing running and nothing became ready: cycle.
+			return results, ErrWorkflowCycle
+		}
+		if rt.Now() >= deadline {
+			return results, fmt.Errorf("%w: %d/%d tasks done", ErrWorkflowStall, len(results), len(wf.Tasks))
+		}
+		rt.Sleep(500 * time.Millisecond)
+	}
+	return results, nil
+}

@@ -1,0 +1,108 @@
+package grid_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/transport"
+)
+
+func TestWorkflowRunsInDependencyOrder(t *testing.T) {
+	c := newCluster(t, 6, 31, grid.Config{}, uniform)
+	defer c.e.Shutdown()
+	// The paper's motivating shape: simulations first, one analysis
+	// after each, a final report after all analyses.
+	wf := grid.Workflow{Tasks: []grid.Task{
+		{Name: "sim-a", Spec: grid.JobSpec{Work: 10 * time.Second}},
+		{Name: "sim-b", Spec: grid.JobSpec{Work: 15 * time.Second}},
+		{Name: "analyze-a", Spec: grid.JobSpec{Work: 5 * time.Second}, DependsOn: []string{"sim-a"}},
+		{Name: "analyze-b", Spec: grid.JobSpec{Work: 5 * time.Second}, DependsOn: []string{"sim-b"}},
+		{Name: "report", Spec: grid.JobSpec{Work: 2 * time.Second}, DependsOn: []string{"analyze-a", "analyze-b"}},
+	}}
+	var results map[string]grid.TaskResult
+	var err error
+	c.do(0, func(rt transport.Runtime) {
+		results, err = c.nodes[0].RunWorkflow(rt, wf, rt.Now()+time.Hour)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("completed %d/5 tasks", len(results))
+	}
+	// Dependency order must hold on completion times.
+	if results["analyze-a"].Finished <= results["sim-a"].Finished {
+		t.Fatal("analysis finished before its simulation")
+	}
+	if results["report"].Finished <= results["analyze-a"].Finished ||
+		results["report"].Finished <= results["analyze-b"].Finished {
+		t.Fatal("report finished before analyses")
+	}
+}
+
+func TestWorkflowIndependentTasksOverlap(t *testing.T) {
+	c := newCluster(t, 8, 32, grid.Config{}, uniform)
+	defer c.e.Shutdown()
+	wf := grid.Workflow{Tasks: []grid.Task{
+		{Name: "a", Spec: grid.JobSpec{Work: 30 * time.Second}},
+		{Name: "b", Spec: grid.JobSpec{Work: 30 * time.Second}},
+		{Name: "c", Spec: grid.JobSpec{Work: 30 * time.Second}},
+	}}
+	var took time.Duration
+	c.do(0, func(rt transport.Runtime) {
+		start := rt.Now()
+		if _, err := c.nodes[0].RunWorkflow(rt, wf, rt.Now()+time.Hour); err != nil {
+			t.Fatal(err)
+		}
+		took = rt.Now() - start
+	})
+	// Independent tasks run concurrently on different nodes: total time
+	// is far below the 90s serial sum.
+	if took > 60*time.Second {
+		t.Fatalf("independent tasks apparently serialized: %v", took)
+	}
+}
+
+func TestWorkflowRejectsBadGraphs(t *testing.T) {
+	c := newCluster(t, 2, 33, grid.Config{}, uniform)
+	defer c.e.Shutdown()
+	c.do(0, func(rt transport.Runtime) {
+		// Unknown dependency.
+		_, err := c.nodes[0].RunWorkflow(rt, grid.Workflow{Tasks: []grid.Task{
+			{Name: "x", DependsOn: []string{"ghost"}},
+		}}, rt.Now()+time.Minute)
+		if !errors.Is(err, grid.ErrWorkflowCycle) {
+			t.Errorf("unknown dep: %v", err)
+		}
+		// Cycle.
+		_, err = c.nodes[0].RunWorkflow(rt, grid.Workflow{Tasks: []grid.Task{
+			{Name: "a", DependsOn: []string{"b"}},
+			{Name: "b", DependsOn: []string{"a"}},
+		}}, rt.Now()+time.Minute)
+		if !errors.Is(err, grid.ErrWorkflowCycle) {
+			t.Errorf("cycle: %v", err)
+		}
+		// Duplicate name.
+		_, err = c.nodes[0].RunWorkflow(rt, grid.Workflow{Tasks: []grid.Task{
+			{Name: "a"}, {Name: "a"},
+		}}, rt.Now()+time.Minute)
+		if err == nil {
+			t.Error("duplicate accepted")
+		}
+	})
+}
+
+func TestWorkflowDeadline(t *testing.T) {
+	c := newCluster(t, 2, 34, grid.Config{}, uniform)
+	defer c.e.Shutdown()
+	c.do(0, func(rt transport.Runtime) {
+		_, err := c.nodes[0].RunWorkflow(rt, grid.Workflow{Tasks: []grid.Task{
+			{Name: "long", Spec: grid.JobSpec{Work: time.Hour}},
+		}}, rt.Now()+10*time.Second)
+		if !errors.Is(err, grid.ErrWorkflowStall) {
+			t.Errorf("deadline: %v", err)
+		}
+	})
+}

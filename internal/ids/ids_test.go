@@ -1,0 +1,247 @@
+package ids
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestHashDeterministic(t *testing.T) {
+	a := HashString("node-1")
+	b := HashString("node-1")
+	if a != b {
+		t.Fatalf("Hash not deterministic: %s vs %s", a, b)
+	}
+	c := HashString("node-2")
+	if a == c {
+		t.Fatalf("distinct keys collided: %s", a)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	id := HashString("round-trip")
+	got, err := Parse(id.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", id.String(), err)
+	}
+	if got != id {
+		t.Fatalf("round trip mismatch: %s vs %s", got, id)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{"", "abcd", "zz" + HashString("x").String()[2:]}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestFromUint64(t *testing.T) {
+	id := FromUint64(0xdeadbeef)
+	if got := id.Uint64(); got != 0xdeadbeef {
+		t.Fatalf("Uint64 = %#x, want 0xdeadbeef", got)
+	}
+	if !FromUint64(0).IsZero() {
+		t.Fatal("FromUint64(0) not zero")
+	}
+}
+
+func TestAddSubInverse(t *testing.T) {
+	f := func(a, b uint64) bool {
+		x, y := FromUint64(a), FromUint64(b)
+		return x.Add(y).Sub(y) == x && x.Sub(y).Add(y) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCarryPropagation(t *testing.T) {
+	// all-ones + 1 wraps to zero
+	var ones ID
+	for i := range ones {
+		ones[i] = 0xff
+	}
+	if got := ones.Add(FromUint64(1)); !got.IsZero() {
+		t.Fatalf("max + 1 = %s, want 0", got)
+	}
+	// 0 - 1 wraps to all-ones
+	if got := (ID{}).Sub(FromUint64(1)); got != ones {
+		t.Fatalf("0 - 1 = %s, want all-ones", got)
+	}
+}
+
+func TestAddPow2(t *testing.T) {
+	id := FromUint64(5)
+	if got := id.AddPow2(0); got != FromUint64(6) {
+		t.Fatalf("5 + 2^0 = %s, want 6", got)
+	}
+	if got := id.AddPow2(10); got != FromUint64(5+1024) {
+		t.Fatalf("5 + 2^10 = %s", got)
+	}
+	// 2^159 twice wraps back
+	top := (ID{}).AddPow2(Bits - 1)
+	if got := top.AddPow2(Bits - 1); !got.IsZero() {
+		t.Fatalf("2^159 + 2^159 = %s, want 0", got)
+	}
+}
+
+func TestAddPow2Panics(t *testing.T) {
+	for _, k := range []int{-1, Bits} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("AddPow2(%d) did not panic", k)
+				}
+			}()
+			(ID{}).AddPow2(k)
+		}()
+	}
+}
+
+func TestCmp(t *testing.T) {
+	a, b := FromUint64(1), FromUint64(2)
+	if a.Cmp(b) != -1 || b.Cmp(a) != 1 || a.Cmp(a) != 0 {
+		t.Fatal("Cmp ordering wrong")
+	}
+	if !a.Less(b) || b.Less(a) {
+		t.Fatal("Less wrong")
+	}
+	// High bytes dominate.
+	var hi ID
+	hi[0] = 1
+	if !b.Less(hi) {
+		t.Fatal("high-byte comparison wrong")
+	}
+}
+
+func TestBetweenSimpleArc(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(20)
+	for _, tc := range []struct {
+		x    uint64
+		want bool
+	}{
+		{15, true}, {10, false}, {20, false}, {5, false}, {25, false}, {11, true}, {19, true},
+	} {
+		if got := Between(FromUint64(tc.x), a, b); got != tc.want {
+			t.Errorf("Between(%d, 10, 20) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestBetweenWrappingArc(t *testing.T) {
+	a, b := FromUint64(100), FromUint64(5) // arc wraps through 0
+	for _, tc := range []struct {
+		x    uint64
+		want bool
+	}{
+		{101, true}, {3, true}, {0, true}, {100, false}, {5, false}, {50, false},
+	} {
+		if got := Between(FromUint64(tc.x), a, b); got != tc.want {
+			t.Errorf("Between(%d, 100, 5) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestBetweenDegenerateArc(t *testing.T) {
+	// a == b: everything except a itself is inside.
+	a := FromUint64(42)
+	if Between(a, a, a) {
+		t.Error("Between(a,a,a) = true")
+	}
+	if !Between(FromUint64(7), a, a) {
+		t.Error("Between(7,a,a) = false")
+	}
+}
+
+func TestBetweenRightIncl(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(20)
+	if !BetweenRightIncl(b, a, b) {
+		t.Error("right endpoint should be included")
+	}
+	if BetweenRightIncl(a, a, b) {
+		t.Error("left endpoint should be excluded")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	a, b := FromUint64(10), FromUint64(25)
+	if got := Distance(a, b); got != FromUint64(15) {
+		t.Fatalf("Distance(10,25) = %s, want 15", got)
+	}
+	// Wrapping distance: from 25 back to 10 is 2^160 - 15.
+	d := Distance(b, a)
+	if d.Add(FromUint64(15)) != (ID{}) {
+		t.Fatalf("wrapping distance wrong: %s", d)
+	}
+}
+
+func TestPrefixRoundTrip(t *testing.T) {
+	f := func(p uint64) bool {
+		const m = 16
+		p &= (1 << m) - 1
+		return FromPrefix(p, m).Prefix(m) == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrefixOfHash(t *testing.T) {
+	id := HashString("prefix-test")
+	p := id.Prefix(8)
+	if byte(p) != id[0] {
+		t.Fatalf("Prefix(8) = %#x, want first byte %#x", p, id[0])
+	}
+}
+
+func TestClearLowestSetBit(t *testing.T) {
+	for _, tc := range []struct{ in, want uint64 }{
+		{0, 0}, {1, 0}, {2, 0}, {3, 2}, {0b1100, 0b1000}, {0b1010100, 0b1010000},
+	} {
+		if got := ClearLowestSetBit(tc.in); got != tc.want {
+			t.Errorf("ClearLowestSetBit(%#b) = %#b, want %#b", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestClearLowestSetBitReachesZero(t *testing.T) {
+	// Iterating the RN-Tree parent rule must terminate at 0 within
+	// popcount steps — the property the tree's bounded height rests on.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		v := rng.Uint64()
+		steps := 0
+		for v != 0 {
+			v = ClearLowestSetBit(v)
+			steps++
+			if steps > 64 {
+				t.Fatal("parent chain did not terminate")
+			}
+		}
+	}
+}
+
+func TestBetweenAntisymmetry(t *testing.T) {
+	// For distinct a, b and x not an endpoint, x is in exactly one of
+	// (a,b) and (b,a).
+	f := func(x, a, b uint64) bool {
+		X, A, B := FromUint64(x), FromUint64(a), FromUint64(b)
+		if A == B || X == A || X == B {
+			return true
+		}
+		return Between(X, A, B) != Between(X, B, A)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShort(t *testing.T) {
+	id := HashString("short")
+	if got := id.Short(); len(got) != 8 || id.String()[:8] != got {
+		t.Fatalf("Short() = %q", got)
+	}
+}

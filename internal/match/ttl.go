@@ -1,0 +1,115 @@
+package match
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/resource"
+	"repro/internal/transport"
+)
+
+// MProbe is the RPC method the TTL baseline uses to inspect a node.
+const MProbe = "match.probe"
+
+// ProbeReq asks a node whether it satisfies a job's constraints.
+type ProbeReq struct{ Cons resource.Constraints }
+
+// ProbeResp carries the answer plus the node's overlay neighbors, which
+// the searching node uses to expand its frontier.
+type ProbeResp struct {
+	Satisfies bool
+	Load      int
+	Neighbors []transport.Addr
+}
+
+// RegisterProbe installs the probe handler on a host. neighbors must
+// return the node's current overlay neighbors (e.g. Chord fingers and
+// successors).
+func RegisterProbe(host transport.Host, caps resource.Vector, os string, load func() int, neighbors func() []transport.Addr) {
+	host.Handle(MProbe, func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		cons := req.(ProbeReq).Cons
+		return ProbeResp{
+			Satisfies: cons.SatisfiedBy(caps, os),
+			Load:      load(),
+			Neighbors: neighbors(),
+		}, nil
+	})
+}
+
+// TTL is the related-work baseline ([Iamnitchi & Foster], [Butt et
+// al.]): a TTL-bounded expanding search over overlay neighbors. The
+// paper's criticism — "such mechanisms may fail to find a resource
+// capable of running a given job, even though such a resource exists
+// somewhere in the network" — is exactly what the tab5 experiment
+// measures.
+type TTL struct {
+	// Self is this node's own description (the search starts here).
+	Self      transport.Addr
+	Caps      resource.Vector
+	OS        string
+	Load      func() int
+	Neighbors func() []transport.Addr
+	// Budget is the number of remote probes allowed (default 10).
+	Budget int
+}
+
+// FindRunNode implements grid.Matchmaker: probe up to Budget nodes
+// breadth-first from our neighbors and pick the least-loaded satisfying
+// one.
+func (m *TTL) FindRunNode(rt transport.Runtime, cons resource.Constraints, exclude []transport.Addr) (transport.Addr, grid.MatchStats, error) {
+	budget := m.Budget
+	if budget <= 0 {
+		budget = 10
+	}
+	stats := grid.MatchStats{}
+	type hit struct {
+		addr transport.Addr
+		load int
+	}
+	var hits []hit
+	visited := map[transport.Addr]bool{m.Self: true}
+	if !addrIn(exclude, m.Self) && cons.SatisfiedBy(m.Caps, m.OS) {
+		hits = append(hits, hit{m.Self, m.Load()})
+	}
+	stats.Visits++
+
+	frontier := append([]transport.Addr(nil), m.Neighbors()...)
+	sort.Slice(frontier, func(i, j int) bool { return frontier[i] < frontier[j] })
+	for len(frontier) > 0 && stats.Hops < budget {
+		// Expand a uniformly random frontier node (the classic random
+		// TTL walk with branching).
+		i := rt.Rand().Intn(len(frontier))
+		addr := frontier[i]
+		frontier = append(frontier[:i], frontier[i+1:]...)
+		if visited[addr] {
+			continue
+		}
+		visited[addr] = true
+		raw, err := rt.Call(addr, MProbe, ProbeReq{Cons: cons})
+		stats.Hops++
+		if err != nil {
+			continue
+		}
+		stats.Visits++
+		resp := raw.(ProbeResp)
+		if resp.Satisfies && !addrIn(exclude, addr) {
+			hits = append(hits, hit{addr, resp.Load})
+		}
+		for _, nb := range resp.Neighbors {
+			if !visited[nb] {
+				frontier = append(frontier, nb)
+			}
+		}
+	}
+	if len(hits) == 0 {
+		return "", stats, fmt.Errorf("ttl: no satisfying node within %d probes for %s", budget, cons)
+	}
+	best := hits[0]
+	for _, h := range hits[1:] {
+		if h.load < best.load || (h.load == best.load && h.addr < best.addr) {
+			best = h
+		}
+	}
+	return best.addr, stats, nil
+}

@@ -1,0 +1,152 @@
+// Package metrics provides the statistics the paper reports — job wait
+// times (average and standard deviation), matchmaking cost, recovery
+// counts — computed from the grid layer's event stream.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds descriptive statistics of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, Max           float64
+	P50, P90, P95, P99 float64
+}
+
+// Summarize computes descriptive statistics. An empty sample yields the
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P50 = quantile(sorted, 0.50)
+	s.P90 = quantile(sorted, 0.90)
+	s.P95 = quantile(sorted, 0.95)
+	s.P99 = quantile(sorted, 0.99)
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// quantile interpolates the q-quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f std=%.2f min=%.2f p50=%.2f p95=%.2f max=%.2f",
+		s.N, s.Mean, s.Std, s.Min, s.P50, s.P95, s.Max)
+}
+
+// Welford is a streaming mean/variance accumulator.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation in.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Std returns the running sample standard deviation.
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// Histogram counts observations in fixed-width buckets.
+type Histogram struct {
+	Width   float64
+	buckets map[int]int
+	n       int
+}
+
+// NewHistogram creates a histogram with the given bucket width.
+func NewHistogram(width float64) *Histogram {
+	return &Histogram{Width: width, buckets: make(map[int]int)}
+}
+
+// Add folds one observation in.
+func (h *Histogram) Add(x float64) {
+	h.buckets[int(math.Floor(x/h.Width))]++
+	h.n++
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int { return h.n }
+
+// String renders an ASCII bar chart.
+func (h *Histogram) String() string {
+	if h.n == 0 {
+		return "(empty)"
+	}
+	keys := make([]int, 0, len(h.buckets))
+	maxCount := 0
+	for k, c := range h.buckets {
+		keys = append(keys, k)
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		c := h.buckets[k]
+		bar := strings.Repeat("#", 1+c*40/maxCount)
+		fmt.Fprintf(&b, "%10.1f-%-10.1f %6d %s\n", float64(k)*h.Width, float64(k+1)*h.Width, c, bar)
+	}
+	return b.String()
+}
+
+// Imbalance quantifies load imbalance across nodes: the coefficient of
+// variation (std/mean) of per-node completed-job counts, plus the
+// max/mean ratio. Perfect balance gives CV 0.
+func Imbalance(perNode []float64) (cv, maxOverMean float64) {
+	s := Summarize(perNode)
+	if s.Mean == 0 {
+		return 0, 0
+	}
+	return s.Std / s.Mean, s.Max / s.Mean
+}

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/ids"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	want := math.Sqrt(2.5) // sample stdev of 1..5
+	if math.Abs(s.Std-want) > 1e-9 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEdgeCases(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary")
+	}
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.Std != 0 || s.P99 != 7 {
+		t.Fatalf("singleton: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatal("input reordered")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	s := Summarize([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	if !(s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {
+		t.Fatalf("quantiles not monotone: %+v", s)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var w Welford
+	var xs []float64
+	for i := 0; i < 1000; i++ {
+		x := rng.NormFloat64()*10 + 50
+		xs = append(xs, x)
+		w.Add(x)
+	}
+	s := Summarize(xs)
+	if math.Abs(w.Mean()-s.Mean) > 1e-9 || math.Abs(w.Std()-s.Std) > 1e-9 {
+		t.Fatalf("welford (%.6f, %.6f) vs batch (%.6f, %.6f)", w.Mean(), w.Std(), s.Mean, s.Std)
+	}
+	if w.N() != 1000 {
+		t.Fatal("count")
+	}
+}
+
+func TestWelfordSmall(t *testing.T) {
+	var w Welford
+	if w.Std() != 0 {
+		t.Fatal("empty std")
+	}
+	w.Add(5)
+	if w.Mean() != 5 || w.Std() != 0 {
+		t.Fatal("single observation")
+	}
+}
+
+func TestSummaryMeanBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var clean []float64
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				// Bound magnitudes so the sum cannot overflow; summary
+				// statistics target measured durations, not 1e308.
+				clean = append(clean, math.Mod(x, 1e6))
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10)
+	for _, x := range []float64{1, 5, 15, 25, 25.5} {
+		h.Add(x)
+	}
+	if h.N() != 5 {
+		t.Fatal("count")
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") || strings.Count(out, "\n") != 3 {
+		t.Fatalf("histogram render:\n%s", out)
+	}
+	if NewHistogram(1).String() != "(empty)" {
+		t.Fatal("empty histogram")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	cv, mm := Imbalance([]float64{10, 10, 10, 10})
+	if cv != 0 || mm != 1 {
+		t.Fatalf("balanced: cv=%v mm=%v", cv, mm)
+	}
+	cv2, mm2 := Imbalance([]float64{0, 0, 0, 40})
+	if cv2 <= 1 || mm2 != 4 {
+		t.Fatalf("imbalanced: cv=%v mm=%v", cv2, mm2)
+	}
+	if cv3, _ := Imbalance([]float64{0, 0}); cv3 != 0 {
+		t.Fatal("zero-mean imbalance")
+	}
+}
+
+func TestCollectorBuildsTraces(t *testing.T) {
+	c := NewCollector()
+	id := ids.HashString("job")
+	evts := []grid.Event{
+		{Kind: grid.EvSubmitted, JobID: id, At: 0},
+		{Kind: grid.EvInjected, JobID: id, At: time.Second, Hops: 4},
+		{Kind: grid.EvOwned, JobID: id, At: 2 * time.Second},
+		{Kind: grid.EvMatched, JobID: id, At: 3 * time.Second, Match: grid.MatchStats{Hops: 6, Visits: 3}},
+		{Kind: grid.EvStarted, JobID: id, At: 10 * time.Second},
+		{Kind: grid.EvResultDelivered, JobID: id, At: 40 * time.Second},
+	}
+	for _, ev := range evts {
+		c.Record(ev)
+	}
+	jobs := c.Jobs()
+	if len(jobs) != 1 {
+		t.Fatal("trace count")
+	}
+	tr := jobs[0]
+	if w, ok := tr.Wait(); !ok || w != 10*time.Second {
+		t.Fatalf("wait = %v %v", w, ok)
+	}
+	if ta, ok := tr.Turnaround(); !ok || ta != 40*time.Second {
+		t.Fatalf("turnaround = %v %v", ta, ok)
+	}
+	if got := c.WaitTimes(); len(got) != 1 || got[0] != 10 {
+		t.Fatalf("WaitTimes = %v", got)
+	}
+	if got := c.MatchCosts(); len(got) != 1 || got[0] != 10 { // 4 route + 6 match
+		t.Fatalf("MatchCosts = %v", got)
+	}
+	if got := c.MatchVisits(); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("MatchVisits = %v", got)
+	}
+	if c.Count(grid.EvStarted) != 1 || c.Count(grid.EvResubmitted) != 0 {
+		t.Fatal("counts")
+	}
+}
+
+func TestCollectorFirstStartWins(t *testing.T) {
+	// Recovery re-runs must not overwrite the original start time.
+	c := NewCollector()
+	id := ids.HashString("dup")
+	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: id, At: 0})
+	c.Record(grid.Event{Kind: grid.EvStarted, JobID: id, At: 5 * time.Second})
+	c.Record(grid.Event{Kind: grid.EvStarted, JobID: id, At: 50 * time.Second})
+	if w, _ := c.Jobs()[0].Wait(); w != 5*time.Second {
+		t.Fatalf("wait = %v", w)
+	}
+}
+
+func TestCollectorIncompleteJobsExcluded(t *testing.T) {
+	c := NewCollector()
+	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: ids.HashString("never"), At: 0})
+	if len(c.WaitTimes()) != 0 || len(c.Turnarounds()) != 0 {
+		t.Fatal("unstarted job contributed stats")
+	}
+}

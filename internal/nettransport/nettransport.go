@@ -1,0 +1,213 @@
+// Package nettransport implements transport.Host over real TCP sockets
+// with gob framing. The same Chord, CAN, RN-Tree, and grid protocol
+// code that runs under the simulator runs over this transport in live
+// deployments (cmd/gridnode); only the Host/Runtime binding changes.
+package nettransport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// DefaultCallTimeout bounds Call when no explicit timeout is given.
+const DefaultCallTimeout = 5 * time.Second
+
+// envelope frames one request on the wire.
+type envelope struct {
+	Method  string
+	From    string
+	Payload any
+}
+
+// reply frames one response.
+type reply struct {
+	Payload any
+	ErrMsg  string
+	ErrKind int // 0 none, 1 no-handler, 2 handler error
+}
+
+var seedCounter int64
+
+// Host is one process's TCP attachment to the grid.
+type Host struct {
+	ln    net.Listener
+	addr  transport.Addr
+	start time.Time
+
+	mu       sync.Mutex
+	handlers map[string]transport.Handler
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// Listen binds a host to a TCP address ("127.0.0.1:0" picks a free
+// port; Addr reports the actual one).
+func Listen(addr string) (*Host, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("nettransport: listen %s: %w", addr, err)
+	}
+	h := &Host{
+		ln:       ln,
+		addr:     transport.Addr(ln.Addr().String()),
+		start:    time.Now(),
+		handlers: make(map[string]transport.Handler),
+	}
+	h.wg.Add(1)
+	go h.acceptLoop()
+	return h, nil
+}
+
+// Addr implements transport.Host.
+func (h *Host) Addr() transport.Addr { return h.addr }
+
+// Up implements transport.Host.
+func (h *Host) Up() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return !h.closed
+}
+
+// Handle implements transport.Host.
+func (h *Host) Handle(method string, fn transport.Handler) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.handlers[method] = fn
+}
+
+// Go implements transport.Host: fn runs on its own goroutine with a
+// live runtime.
+func (h *Host) Go(name string, fn func(rt transport.Runtime)) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		fn(h.newRuntime())
+	}()
+}
+
+// Close shuts the listener down. In-flight handlers finish; subsequent
+// calls to this host fail.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	h.mu.Unlock()
+	h.ln.Close()
+}
+
+func (h *Host) newRuntime() *runtime {
+	seed := atomic.AddInt64(&seedCounter, 1)
+	return &runtime{
+		h:   h,
+		rng: rand.New(rand.NewSource(time.Now().UnixNano() ^ seed<<21)),
+	}
+}
+
+func (h *Host) acceptLoop() {
+	defer h.wg.Done()
+	for {
+		conn, err := h.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		h.wg.Add(1)
+		go func() {
+			defer h.wg.Done()
+			h.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles one request per connection (simple and robust; the
+// grid's direct heartbeat connections are cheap at these rates).
+func (h *Host) serveConn(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	var env envelope
+	if err := dec.Decode(&env); err != nil {
+		return
+	}
+	h.mu.Lock()
+	fn, ok := h.handlers[env.Method]
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return
+	}
+	var rep reply
+	if !ok {
+		rep = reply{ErrMsg: env.Method, ErrKind: 1}
+	} else {
+		resp, err := fn(h.newRuntime(), transport.Addr(env.From), env.Payload)
+		if err != nil {
+			rep = reply{ErrMsg: err.Error(), ErrKind: 2}
+		} else {
+			rep = reply{Payload: resp}
+		}
+	}
+	_ = enc.Encode(&rep)
+}
+
+// runtime is the live (wall-clock) transport.Runtime.
+type runtime struct {
+	h   *Host
+	rng *rand.Rand
+}
+
+func (r *runtime) Now() time.Duration    { return time.Since(r.h.start) }
+func (r *runtime) Sleep(d time.Duration) { time.Sleep(d) }
+func (r *runtime) Rand() *rand.Rand      { return r.rng }
+
+func (r *runtime) Call(to transport.Addr, method string, req any) (any, error) {
+	return r.CallT(to, method, req, DefaultCallTimeout)
+}
+
+func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.Duration) (any, error) {
+	if !r.h.Up() {
+		return nil, transport.ErrDown
+	}
+	deadline := time.Now().Add(timeout)
+	conn, err := net.DialTimeout("tcp", string(to), timeout)
+	if err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return nil, transport.ErrTimeout
+		}
+		return nil, transport.ErrUnreachable
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(deadline)
+	enc := gob.NewEncoder(conn)
+	dec := gob.NewDecoder(conn)
+	if err := enc.Encode(&envelope{Method: method, From: string(r.h.addr), Payload: req}); err != nil {
+		return nil, fmt.Errorf("%w: send: %v", transport.ErrUnreachable, err)
+	}
+	var rep reply
+	if err := dec.Decode(&rep); err != nil {
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			return nil, transport.ErrTimeout
+		}
+		return nil, fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, err)
+	}
+	switch rep.ErrKind {
+	case 1:
+		return nil, fmt.Errorf("%w: %s on %s", transport.ErrNoHandler, rep.ErrMsg, to)
+	case 2:
+		return nil, errors.New(rep.ErrMsg)
+	}
+	return rep.Payload, nil
+}

@@ -1,0 +1,219 @@
+package nettransport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/match"
+	"repro/internal/resource"
+	"repro/internal/rntree"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func init() { wire.RegisterAll() }
+
+func TestCallRoundTrip(t *testing.T) {
+	a, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	b.Handle(chord.MPing, func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		if _, ok := req.(chord.PingReq); !ok {
+			return nil, fmt.Errorf("bad payload %T", req)
+		}
+		return chord.PingResp{Self: chord.Ref{ID: ids.HashString("b"), Addr: b.Addr()}}, nil
+	})
+
+	done := make(chan error, 1)
+	a.Go("caller", func(rt transport.Runtime) {
+		resp, err := rt.Call(b.Addr(), chord.MPing, chord.PingReq{})
+		if err != nil {
+			done <- err
+			return
+		}
+		pr := resp.(chord.PingResp)
+		if pr.Self.Addr != b.Addr() {
+			done <- fmt.Errorf("wrong self: %v", pr.Self)
+			return
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	a, _ := Listen("127.0.0.1:0")
+	defer a.Close()
+	b, _ := Listen("127.0.0.1:0")
+	b.Handle("boom", func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		return nil, errors.New("handler exploded")
+	})
+
+	rt := a.newRuntime()
+	if _, err := rt.Call(b.Addr(), "missing", chord.PingReq{}); !errors.Is(err, transport.ErrNoHandler) {
+		t.Fatalf("missing handler: %v", err)
+	}
+	if _, err := rt.Call(b.Addr(), "boom", chord.PingReq{}); err == nil || err.Error() != "handler exploded" {
+		t.Fatalf("handler error: %v", err)
+	}
+	bAddr := b.Addr()
+	b.Close()
+	time.Sleep(50 * time.Millisecond)
+	if _, err := rt.CallT(bAddr, "x", chord.PingReq{}, time.Second); err == nil {
+		t.Fatal("call to closed host succeeded")
+	}
+}
+
+// TestLiveChordRing boots a real 5-node Chord ring over TCP and checks
+// that lookups agree across nodes — the same protocol code the
+// simulator runs, over real sockets.
+func TestLiveChordRing(t *testing.T) {
+	const N = 5
+	cfg := chord.Config{
+		StabilizeEvery:  50 * time.Millisecond,
+		FixFingersEvery: 50 * time.Millisecond,
+		CheckPredEvery:  100 * time.Millisecond,
+	}
+	hosts := make([]*Host, N)
+	nodes := make([]*chord.Node, N)
+	for i := 0; i < N; i++ {
+		h, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		hosts[i] = h
+		nodes[i] = chord.New(h, cfg)
+	}
+	nodes[0].Create()
+	nodes[0].Start()
+	var wg sync.WaitGroup
+	for i := 1; i < N; i++ {
+		i := i
+		wg.Add(1)
+		hosts[i].Go("join", func(rt transport.Runtime) {
+			defer wg.Done()
+			for try := 0; try < 10; try++ {
+				if err := nodes[i].Join(rt, hosts[0].Addr()); err == nil {
+					nodes[i].Start()
+					return
+				}
+				rt.Sleep(100 * time.Millisecond)
+			}
+			t.Errorf("node %d failed to join", i)
+		})
+	}
+	wg.Wait()
+	time.Sleep(2 * time.Second) // let stabilization converge
+
+	// All nodes agree on the owner of a set of keys.
+	for k := 0; k < 5; k++ {
+		key := ids.HashString(fmt.Sprintf("key%d", k))
+		owners := map[string]bool{}
+		for i := 0; i < N; i++ {
+			rt := hosts[i].newRuntime()
+			owner, _, err := nodes[i].Lookup(rt, key)
+			if err != nil {
+				t.Fatalf("lookup from %d: %v", i, err)
+			}
+			owners[string(owner.Addr)] = true
+		}
+		if len(owners) != 1 {
+			t.Fatalf("key %d: disagreeing owners %v", k, owners)
+		}
+	}
+}
+
+// TestLiveGridJob runs one real job through the full grid stack over
+// TCP: inject -> owner -> matchmaking (RN-Tree over Chord) -> run node
+// -> result.
+func TestLiveGridJob(t *testing.T) {
+	const N = 4
+	chCfg := chord.Config{
+		StabilizeEvery:  50 * time.Millisecond,
+		FixFingersEvery: 50 * time.Millisecond,
+		CheckPredEvery:  100 * time.Millisecond,
+	}
+	rnCfg := rntree.Config{AggregateEvery: 100 * time.Millisecond, ParentRefreshEvery: 300 * time.Millisecond}
+	gCfg := grid.Config{HeartbeatEvery: 200 * time.Millisecond, IdlePoll: 50 * time.Millisecond}
+
+	hosts := make([]*Host, N)
+	chords := make([]*chord.Node, N)
+	rns := make([]*rntree.Node, N)
+	grids := make([]*grid.Node, N)
+	for i := 0; i < N; i++ {
+		h, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Close()
+		hosts[i] = h
+		caps := resource.Vector{float64(2 + i), 1024, 50}
+		chords[i] = chord.New(h, chCfg)
+		rns[i] = rntree.New(h, chords[i], caps, "linux", rnCfg)
+		overlay := &match.ChordOverlay{Chord: chords[i], Walk: rns[i]}
+		matcher := &match.RNTree{RN: rns[i]}
+		grids[i] = grid.NewNode(h, caps, "linux", overlay, matcher, nil, gCfg)
+		rns[i].SetLoadFn(grids[i].QueueLen)
+	}
+	chords[0].Create()
+	var wg sync.WaitGroup
+	for i := 1; i < N; i++ {
+		i := i
+		wg.Add(1)
+		hosts[i].Go("join", func(rt transport.Runtime) {
+			defer wg.Done()
+			for try := 0; try < 10; try++ {
+				if err := chords[i].Join(rt, hosts[0].Addr()); err == nil {
+					return
+				}
+				rt.Sleep(100 * time.Millisecond)
+			}
+			t.Errorf("join %d failed", i)
+		})
+	}
+	wg.Wait()
+	for i := 0; i < N; i++ {
+		chords[i].Start()
+		rns[i].Start()
+		grids[i].Start()
+	}
+	time.Sleep(2 * time.Second) // ring + tree convergence
+
+	done := make(chan error, 1)
+	hosts[0].Go("client", func(rt transport.Runtime) {
+		if _, err := grids[0].Submit(rt, grid.JobSpec{Work: 200 * time.Millisecond}); err != nil {
+			done <- err
+			return
+		}
+		if left := grids[0].AwaitAll(rt, rt.Now()+20*time.Second); left != 0 {
+			done <- fmt.Errorf("%d jobs unfinished", left)
+			return
+		}
+		done <- nil
+	})
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("live grid job timed out")
+	}
+}

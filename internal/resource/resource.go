@@ -1,0 +1,206 @@
+// Package resource models node capabilities and job requirements: the
+// three resource types of the paper's evaluation (CPU speed, memory,
+// disk), dominance and satisfaction predicates used by matchmaking, and
+// the normalization of capability values into unit coordinates for the
+// CAN space.
+package resource
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type identifies one resource dimension.
+type Type int
+
+// The resource types used throughout the system. The paper's workloads
+// constrain jobs on three types ("out of the 3").
+const (
+	CPU Type = iota // relative CPU speed
+	Memory
+	Disk
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{"cpu", "memory", "disk"}
+
+func (t Type) String() string {
+	if t < 0 || t >= NumTypes {
+		return fmt.Sprintf("resource.Type(%d)", int(t))
+	}
+	return typeNames[t]
+}
+
+// Vector holds one value per resource type; used both for node
+// capabilities and for job requirement minima.
+type Vector [NumTypes]float64
+
+// Dominates reports whether v >= o in every dimension.
+func (v Vector) Dominates(o Vector) bool {
+	for i := range v {
+		if v[i] < o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlyDominates reports whether v >= o in every dimension and
+// v > o in at least one — the CAN candidate-set rule ("at least as
+// capable in all dimensions, more capable in at least one").
+func (v Vector) StrictlyDominates(o Vector) bool {
+	strict := false
+	for i := range v {
+		if v[i] < o[i] {
+			return false
+		}
+		if v[i] > o[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Max returns the elementwise maximum — the RN-Tree aggregation
+// operator for subtree capability summaries.
+func (v Vector) Max(o Vector) Vector {
+	out := v
+	for i := range out {
+		if o[i] > out[i] {
+			out[i] = o[i]
+		}
+	}
+	return out
+}
+
+func (v Vector) String() string {
+	parts := make([]string, NumTypes)
+	for i := range v {
+		parts[i] = fmt.Sprintf("%s=%.2f", Type(i), v[i])
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Constraints is a job's minimum resource requirements. Only masked
+// dimensions constrain matchmaking; an unmasked dimension means "don't
+// care", the common case for lightly-constrained workloads. OS, when
+// non-empty, additionally requires an exact operating-system match.
+type Constraints struct {
+	Min  Vector
+	Mask [NumTypes]bool
+	OS   string
+}
+
+// Unconstrained is the empty requirement that any node satisfies.
+var Unconstrained = Constraints{}
+
+// Require returns a copy of c with an additional minimum on one type.
+func (c Constraints) Require(t Type, min float64) Constraints {
+	c.Min[t] = min
+	c.Mask[t] = true
+	return c
+}
+
+// RequireOS returns a copy of c requiring an exact OS match.
+func (c Constraints) RequireOS(os string) Constraints {
+	c.OS = os
+	return c
+}
+
+// Count returns the number of constrained resource dimensions
+// (the paper's "average of 1.2 / 2.4 constraints out of the 3").
+func (c Constraints) Count() int {
+	n := 0
+	for _, m := range c.Mask {
+		if m {
+			n++
+		}
+	}
+	return n
+}
+
+// SatisfiedBy reports whether a node with the given capabilities and OS
+// can run a job with these constraints.
+func (c Constraints) SatisfiedBy(caps Vector, os string) bool {
+	if c.OS != "" && c.OS != os {
+		return false
+	}
+	for i, m := range c.Mask {
+		if m && caps[i] < c.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Effective returns the requirement vector with unconstrained
+// dimensions set to zero — the job's coordinates in the CAN space.
+func (c Constraints) Effective() Vector {
+	var v Vector
+	for i, m := range c.Mask {
+		if m {
+			v[i] = c.Min[i]
+		}
+	}
+	return v
+}
+
+func (c Constraints) String() string {
+	var parts []string
+	for i, m := range c.Mask {
+		if m {
+			parts = append(parts, fmt.Sprintf("%s>=%.2f", Type(i), c.Min[i]))
+		}
+	}
+	if c.OS != "" {
+		parts = append(parts, "os="+c.OS)
+	}
+	if len(parts) == 0 {
+		return "{any}"
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}
+
+// Space maps raw resource values into unit coordinates [0,1) per
+// dimension, as the CAN overlay requires. Values outside the declared
+// range are clamped.
+type Space struct {
+	Lo, Hi Vector
+}
+
+// DefaultSpace covers the capability ranges the workload generator
+// draws from: CPU speed 1-10 units, memory 0.25-8 GB, disk 1-500 GB.
+var DefaultSpace = Space{
+	Lo: Vector{1, 256, 1},
+	Hi: Vector{10, 8192, 500},
+}
+
+// Normalize maps a raw vector to unit coordinates.
+func (s Space) Normalize(v Vector) Vector {
+	var out Vector
+	for i := range v {
+		span := s.Hi[i] - s.Lo[i]
+		if span <= 0 {
+			continue
+		}
+		x := (v[i] - s.Lo[i]) / span
+		if x < 0 {
+			x = 0
+		}
+		// Keep strictly below 1 so coordinates stay inside the CAN torus.
+		if x >= 1 {
+			x = 0.999999
+		}
+		out[i] = x
+	}
+	return out
+}
+
+// Denormalize maps unit coordinates back to raw values.
+func (s Space) Denormalize(v Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = s.Lo[i] + v[i]*(s.Hi[i]-s.Lo[i])
+	}
+	return out
+}

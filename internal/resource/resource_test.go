@@ -1,0 +1,210 @@
+package resource
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeString(t *testing.T) {
+	if CPU.String() != "cpu" || Memory.String() != "memory" || Disk.String() != "disk" {
+		t.Fatal("type names wrong")
+	}
+	if !strings.Contains(Type(99).String(), "99") {
+		t.Fatal("out-of-range type name")
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Vector{2, 2, 2}
+	b := Vector{1, 2, 2}
+	if !a.Dominates(b) || b.Dominates(a) {
+		t.Fatal("Dominates wrong")
+	}
+	if !a.Dominates(a) {
+		t.Fatal("Dominates not reflexive")
+	}
+}
+
+func TestStrictlyDominates(t *testing.T) {
+	a := Vector{2, 2, 2}
+	if a.StrictlyDominates(a) {
+		t.Fatal("strict dominance must exclude equality")
+	}
+	if !a.StrictlyDominates(Vector{2, 1, 2}) {
+		t.Fatal("strict dominance missed")
+	}
+	if a.StrictlyDominates(Vector{3, 1, 1}) {
+		t.Fatal("incomparable vectors must not dominate")
+	}
+}
+
+func TestMax(t *testing.T) {
+	a := Vector{1, 5, 2}
+	b := Vector{3, 1, 2}
+	want := Vector{3, 5, 2}
+	if got := a.Max(b); got != want {
+		t.Fatalf("Max = %v", got)
+	}
+	if a.Max(b) != b.Max(a) {
+		t.Fatal("Max not commutative")
+	}
+}
+
+func TestMaxProperties(t *testing.T) {
+	f := func(a0, a1, a2, b0, b1, b2 float64) bool {
+		a := Vector{a0, a1, a2}
+		b := Vector{b0, b1, b2}
+		m := a.Max(b)
+		// Max dominates both inputs and is idempotent.
+		return m.Dominates(a) && m.Dominates(b) && m.Max(m) == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstraintsSatisfiedBy(t *testing.T) {
+	c := Unconstrained.Require(CPU, 2).Require(Memory, 1024)
+	if c.Count() != 2 {
+		t.Fatalf("Count = %d", c.Count())
+	}
+	if !c.SatisfiedBy(Vector{2, 1024, 0}, "linux") {
+		t.Fatal("boundary values must satisfy")
+	}
+	if c.SatisfiedBy(Vector{1.9, 2048, 0}, "linux") {
+		t.Fatal("cpu shortfall must fail")
+	}
+	if c.SatisfiedBy(Vector{4, 512, 0}, "linux") {
+		t.Fatal("memory shortfall must fail")
+	}
+	// Unconstrained disk is ignored entirely.
+	if !c.SatisfiedBy(Vector{9, 9999, -5}, "") {
+		t.Fatal("unmasked dimension must not matter")
+	}
+}
+
+func TestConstraintsOS(t *testing.T) {
+	c := Unconstrained.RequireOS("linux")
+	if !c.SatisfiedBy(Vector{}, "linux") {
+		t.Fatal("matching OS rejected")
+	}
+	if c.SatisfiedBy(Vector{}, "windows") {
+		t.Fatal("mismatched OS accepted")
+	}
+	if Unconstrained.SatisfiedBy(Vector{}, "anything") != true {
+		t.Fatal("empty OS requirement must match all")
+	}
+}
+
+func TestUnconstrainedSatisfiedByAnyone(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		v := Vector{rng.Float64() * 10, rng.Float64() * 8192, rng.Float64() * 500}
+		if !Unconstrained.SatisfiedBy(v, "os") {
+			t.Fatalf("Unconstrained rejected %v", v)
+		}
+	}
+}
+
+func TestEffective(t *testing.T) {
+	c := Unconstrained.Require(Disk, 100)
+	want := Vector{0, 0, 100}
+	if got := c.Effective(); got != want {
+		t.Fatalf("Effective = %v", got)
+	}
+}
+
+func TestRequireDoesNotMutate(t *testing.T) {
+	base := Unconstrained.Require(CPU, 1)
+	_ = base.Require(Memory, 5)
+	if base.Mask[Memory] {
+		t.Fatal("Require mutated receiver")
+	}
+}
+
+func TestConstraintsString(t *testing.T) {
+	if Unconstrained.String() != "{any}" {
+		t.Fatalf("String = %q", Unconstrained.String())
+	}
+	s := Unconstrained.Require(CPU, 2).RequireOS("linux").String()
+	if !strings.Contains(s, "cpu>=2.00") || !strings.Contains(s, "os=linux") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestVectorString(t *testing.T) {
+	s := Vector{1, 2, 3}.String()
+	if !strings.Contains(s, "cpu=1.00") || !strings.Contains(s, "disk=3.00") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestNormalizeBounds(t *testing.T) {
+	s := DefaultSpace
+	lo := s.Normalize(s.Lo)
+	if lo != (Vector{}) {
+		t.Fatalf("Normalize(Lo) = %v", lo)
+	}
+	hi := s.Normalize(s.Hi)
+	for i := range hi {
+		if hi[i] < 0 || hi[i] >= 1 {
+			t.Fatalf("Normalize(Hi)[%d] = %v, want in [0,1)", i, hi[i])
+		}
+	}
+	// Clamping below and above.
+	under := s.Normalize(Vector{-100, -100, -100})
+	if under != (Vector{}) {
+		t.Fatalf("under-range = %v", under)
+	}
+	over := s.Normalize(Vector{1e9, 1e9, 1e9})
+	for i := range over {
+		if over[i] >= 1 {
+			t.Fatalf("over-range coordinate %v escaped torus", over[i])
+		}
+	}
+}
+
+func TestNormalizeMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		// restrict to in-range cpu values
+		a = 1 + mod(a, 9)
+		b = 1 + mod(b, 9)
+		na := DefaultSpace.Normalize(Vector{a, 256, 1})
+		nb := DefaultSpace.Normalize(Vector{b, 256, 1})
+		if a < b {
+			return na[CPU] <= nb[CPU]
+		}
+		return na[CPU] >= nb[CPU]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDenormalizeRoundTrip(t *testing.T) {
+	s := DefaultSpace
+	v := Vector{5, 4096, 250}
+	rt := s.Denormalize(s.Normalize(v))
+	for i := range v {
+		if diff := rt[i] - v[i]; diff > 1e-6 || diff < -1e-6 {
+			t.Fatalf("round trip: %v vs %v", rt, v)
+		}
+	}
+}
+
+func TestDegenerateSpace(t *testing.T) {
+	s := Space{Lo: Vector{5, 5, 5}, Hi: Vector{5, 5, 5}}
+	if got := s.Normalize(Vector{5, 7, 3}); got != (Vector{}) {
+		t.Fatalf("degenerate Normalize = %v", got)
+	}
+}
+
+func mod(x, m float64) float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return 0
+	}
+	return math.Abs(math.Mod(x, m))
+}

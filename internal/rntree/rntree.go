@@ -1,0 +1,586 @@
+// Package rntree implements the Rendezvous Node Tree — the paper's
+// matchmaking data structure layered over Chord (Section 3.1). Every
+// node determines its parent from purely local information, subtree
+// resource summaries are aggregated up the tree periodically, and job
+// placement searches the tree with pruning, escalating to ancestors
+// only when the local subtree has no satisfactory candidate, collecting
+// at least k candidates ("extended search") for load balancing.
+//
+// Parent rule (reconstructed; see DESIGN.md): take the m-bit prefix of
+// the node's GUID and clear its lowest set bit; the parent is the Chord
+// owner of the resulting identifier. Random prefixes give a
+// binomial-tree shape of expected height O(log N); the owner of prefix
+// zero is the root.
+package rntree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/ids"
+	"repro/internal/resource"
+	"repro/internal/transport"
+)
+
+// Config tunes the RN-Tree. The zero value selects the defaults.
+type Config struct {
+	// PrefixBits is m, the GUID prefix width the parent rule operates
+	// on (default 24). 2^m must comfortably exceed the node count.
+	PrefixBits int
+	// AggregateEvery is the period of child->parent summary pushes
+	// (default 2 s).
+	AggregateEvery time.Duration
+	// ChildTTL expires children that stop reporting (default 3x
+	// AggregateEvery).
+	ChildTTL time.Duration
+	// K is the extended-search candidate target (default 4).
+	K int
+	// RandomWalkLen is the limited random walk length applied after the
+	// initial DHT mapping of a job to its owner (default 3).
+	RandomWalkLen int
+	// MaxVisits bounds the number of nodes one search may touch
+	// (default 64).
+	MaxVisits int
+	// ParentRefreshEvery is how often the parent is recomputed from
+	// Chord ownership even when pushes succeed (default 15 s); between
+	// refreshes the cached parent is reused.
+	ParentRefreshEvery time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.PrefixBits == 0 {
+		c.PrefixBits = 24
+	}
+	if c.AggregateEvery == 0 {
+		c.AggregateEvery = 2 * time.Second
+	}
+	if c.ChildTTL == 0 {
+		c.ChildTTL = 3 * c.AggregateEvery
+	}
+	if c.K == 0 {
+		c.K = 4
+	}
+	if c.RandomWalkLen == 0 {
+		c.RandomWalkLen = 3
+	}
+	if c.MaxVisits == 0 {
+		c.MaxVisits = 64
+	}
+	if c.ParentRefreshEvery == 0 {
+		c.ParentRefreshEvery = 15 * time.Second
+	}
+	return c
+}
+
+// ErrNoCandidate reports a search that reached the root without finding
+// any node satisfying the constraints.
+var ErrNoCandidate = errors.New("rntree: no satisfying node found")
+
+// Summary aggregates a subtree's resources: the elementwise maximum
+// capability vector, the minimum queue length, the node count, and the
+// set of operating systems present.
+type Summary struct {
+	MaxCaps resource.Vector
+	MinLoad int
+	Nodes   int
+	OSes    []string
+}
+
+// merge folds o into s.
+func (s Summary) merge(o Summary) Summary {
+	s.MaxCaps = s.MaxCaps.Max(o.MaxCaps)
+	if o.MinLoad < s.MinLoad {
+		s.MinLoad = o.MinLoad
+	}
+	s.Nodes += o.Nodes
+	s.OSes = mergeOSes(s.OSes, o.OSes)
+	return s
+}
+
+func mergeOSes(a, b []string) []string {
+	seen := make(map[string]bool, len(a)+len(b))
+	var out []string
+	for _, s := range append(append([]string{}, a...), b...) {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mightSatisfy reports whether some node in the summarized subtree
+// could satisfy the constraints — the search pruning test.
+func (s Summary) mightSatisfy(c resource.Constraints) bool {
+	if c.OS != "" {
+		found := false
+		for _, os := range s.OSes {
+			if os == c.OS {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	for i, m := range c.Mask {
+		if m && s.MaxCaps[i] < c.Min[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Candidate is one capable node discovered by a search, with the queue
+// length it reported.
+type Candidate struct {
+	Ref  chord.Ref
+	Load int
+}
+
+// SearchStats quantifies one matchmaking search.
+type SearchStats struct {
+	Visits      int // nodes whose state was examined
+	RPCs        int // overlay messages exchanged
+	Escalations int // ancestor levels climbed
+	WalkHops    int // random-walk hops before the search
+}
+
+// RPC message types.
+type (
+	// UpdateReq is the periodic child->parent aggregation push.
+	UpdateReq struct {
+		Child chord.Ref
+		Sum   Summary
+	}
+	// UpdateResp acknowledges an UpdateReq; Reject tells the child the
+	// receiver is not its parent (stale routing).
+	UpdateResp struct{ Reject bool }
+	// SearchReq asks a node to search its subtree for candidates.
+	SearchReq struct {
+		Cons    resource.Constraints
+		K       int
+		Exclude transport.Addr // child subtree to skip (ancestor search)
+		Budget  int            // remaining visit budget
+	}
+	// SearchResp returns discovered candidates and accounting.
+	SearchResp struct {
+		Cands  []Candidate
+		Visits int
+		RPCs   int
+	}
+	// ParentReq asks a node for its current parent.
+	ParentReq struct{}
+	// ParentResp carries it (zero for the root).
+	ParentResp struct{ Parent chord.Ref }
+	// WalkReq asks a node for a random overlay neighbor.
+	WalkReq struct{}
+	// WalkResp names it (possibly the node itself if isolated).
+	WalkResp struct{ Next chord.Ref }
+)
+
+// Method names registered on the host.
+const (
+	MUpdate = "rnt.update"
+	MSearch = "rnt.search"
+	MParent = "rnt.parent"
+	MWalk   = "rnt.walk"
+)
+
+type childEntry struct {
+	ref      chord.Ref
+	sum      Summary
+	lastSeen time.Duration
+}
+
+// Node is one RN-Tree participant, layered over a Chord node on the
+// same host.
+type Node struct {
+	host  transport.Host
+	chord *chord.Node
+	cfg   Config
+	caps  resource.Vector
+	os    string
+
+	mu       sync.Mutex
+	parent   chord.Ref
+	isRoot   bool
+	children map[transport.Addr]*childEntry
+	loadFn   func() int
+	started  bool
+}
+
+// New creates an RN-Tree node over ch, advertising the given
+// capabilities, and registers its RPC handlers on host.
+func New(host transport.Host, ch *chord.Node, caps resource.Vector, os string, cfg Config) *Node {
+	n := &Node{
+		host:     host,
+		chord:    ch,
+		cfg:      cfg.withDefaults(),
+		caps:     caps,
+		os:       os,
+		children: make(map[transport.Addr]*childEntry),
+		loadFn:   func() int { return 0 },
+	}
+	host.Handle(MUpdate, n.handleUpdate)
+	host.Handle(MSearch, n.handleSearch)
+	host.Handle(MParent, n.handleParent)
+	host.Handle(MWalk, n.handleWalk)
+	return n
+}
+
+// SetLoadFn installs the queue-length provider (the grid layer's run
+// queue). It must be safe to call from handler contexts.
+func (n *Node) SetLoadFn(fn func() int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.loadFn = fn
+}
+
+// Caps returns the node's capability vector.
+func (n *Node) Caps() resource.Vector { return n.caps }
+
+// OS returns the node's operating system label.
+func (n *Node) OS() string { return n.os }
+
+// Parent returns the current parent (zero for the root).
+func (n *Node) Parent() chord.Ref {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.parent
+}
+
+// Children returns the addresses of the current children, sorted.
+func (n *Node) Children() []transport.Addr {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sortedChildAddrsLocked()
+}
+
+func (n *Node) sortedChildAddrsLocked() []transport.Addr {
+	out := make([]transport.Addr, 0, len(n.children))
+	for a := range n.children {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Start launches the aggregation loop.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.mu.Unlock()
+	n.host.Go("rnt.aggregate", n.aggregateLoop)
+}
+
+// localSummary folds the node's own state with its live children.
+func (n *Node) localSummary(now time.Duration) Summary {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	sum := Summary{MaxCaps: n.caps, MinLoad: n.loadFn(), Nodes: 1, OSes: []string{n.os}}
+	for addr, c := range n.children {
+		if now-c.lastSeen > n.cfg.ChildTTL {
+			delete(n.children, addr)
+			continue
+		}
+		sum = sum.merge(c.sum)
+	}
+	return sum
+}
+
+// aggregateLoop periodically pushes the subtree summary to the parent,
+// recomputing the parent from Chord ownership on a slower cadence (or
+// immediately after a push failure, which usually signals churn).
+func (n *Node) aggregateLoop(rt transport.Runtime) {
+	var lastRefresh time.Duration = -1
+	for {
+		rt.Sleep(jitter(rt, n.cfg.AggregateEvery))
+		n.mu.Lock()
+		parent := n.parent
+		isRoot := n.isRoot
+		n.mu.Unlock()
+		if (parent.IsZero() && !isRoot) || rt.Now()-lastRefresh > n.cfg.ParentRefreshEvery {
+			p, err := n.computeParent(rt)
+			if err != nil {
+				continue
+			}
+			lastRefresh = rt.Now()
+			n.mu.Lock()
+			n.parent = p
+			n.isRoot = p.IsZero()
+			parent, isRoot = p, n.isRoot
+			n.mu.Unlock()
+		}
+		if isRoot || parent.IsZero() {
+			continue
+		}
+		sum := n.localSummary(rt.Now())
+		raw, err := rt.Call(parent.Addr, MUpdate, UpdateReq{Child: n.chord.Ref(), Sum: sum})
+		if err != nil || raw.(UpdateResp).Reject {
+			// Parent unreachable or disavowed us: force recompute.
+			n.mu.Lock()
+			n.parent = chord.Ref{}
+			n.isRoot = false
+			n.mu.Unlock()
+			lastRefresh = -1
+		}
+	}
+}
+
+// computeParent applies the parent rule: clear the lowest set bit of
+// the m-bit GUID prefix (repeatedly, when the resulting identifier is
+// still owned by this node) and look up the owner. A zero return means
+// this node is the root.
+func (n *Node) computeParent(rt transport.Runtime) (chord.Ref, error) {
+	m := n.cfg.PrefixBits
+	p := n.chord.ID().Prefix(m)
+	for {
+		if p == 0 {
+			// Owner of identifier zero: root if that is us.
+			owner, _, err := n.chord.Lookup(rt, ids.FromPrefix(0, m))
+			if err != nil {
+				return chord.Ref{}, err
+			}
+			if owner.ID == n.chord.ID() {
+				return chord.Ref{}, nil
+			}
+			return owner, nil
+		}
+		p = ids.ClearLowestSetBit(p)
+		owner, _, err := n.chord.Lookup(rt, ids.FromPrefix(p, m))
+		if err != nil {
+			return chord.Ref{}, err
+		}
+		if owner.ID != n.chord.ID() {
+			return owner, nil
+		}
+		// We own the ancestor identifier too; keep climbing.
+		if p == 0 {
+			return chord.Ref{}, nil
+		}
+	}
+}
+
+// RandomWalk performs the limited random walk the paper applies after
+// the initial DHT mapping, returning the endpoint where matchmaking
+// should start.
+func (n *Node) RandomWalk(rt transport.Runtime) (chord.Ref, int) {
+	return n.RandomWalkFrom(rt, n.chord.Ref())
+}
+
+// RandomWalkFrom performs the limited random walk starting at an
+// arbitrary node (each remote step asks that node for one of its own
+// overlay neighbors).
+func (n *Node) RandomWalkFrom(rt transport.Runtime, start chord.Ref) (chord.Ref, int) {
+	cur := start
+	hops := 0
+	for i := 0; i < n.cfg.RandomWalkLen; i++ {
+		var next chord.Ref
+		if cur.Addr == n.host.Addr() {
+			next = n.randomNeighbor(rt)
+		} else {
+			raw, err := rt.Call(cur.Addr, MWalk, WalkReq{})
+			if err != nil {
+				break
+			}
+			next = raw.(WalkResp).Next
+		}
+		hops++
+		if next.IsZero() {
+			break
+		}
+		cur = next
+	}
+	return cur, hops
+}
+
+// randomNeighbor picks a uniformly random entry from the Chord routing
+// state (fingers spread across the ring make repeated steps mix fast).
+func (n *Node) randomNeighbor(rt transport.Runtime) chord.Ref {
+	table := n.chord.FingerTable()
+	var opts []chord.Ref
+	seen := map[transport.Addr]bool{n.host.Addr(): true}
+	for _, f := range table {
+		if !f.IsZero() && !seen[f.Addr] {
+			seen[f.Addr] = true
+			opts = append(opts, f)
+		}
+	}
+	for _, s := range n.chord.SuccessorList() {
+		if !s.IsZero() && !seen[s.Addr] {
+			seen[s.Addr] = true
+			opts = append(opts, s)
+		}
+	}
+	if len(opts) == 0 {
+		return chord.Ref{}
+	}
+	return opts[rt.Rand().Intn(len(opts))]
+}
+
+// FindCandidates searches for nodes satisfying cons, starting from this
+// node's subtree and escalating to ancestors while fewer than k
+// candidates are known and the root has not been reached.
+func (n *Node) FindCandidates(rt transport.Runtime, cons resource.Constraints, k int) ([]Candidate, SearchStats, error) {
+	if k <= 0 {
+		k = n.cfg.K
+	}
+	var stats SearchStats
+	budget := n.cfg.MaxVisits
+
+	resp := n.searchSubtree(rt, SearchReq{Cons: cons, K: k, Budget: budget})
+	cands := resp.Cands
+	stats.Visits += resp.Visits
+	stats.RPCs += resp.RPCs
+	budget -= resp.Visits
+
+	// Escalate: ask ancestors to search their subtrees, excluding the
+	// child we arrived from.
+	cur := n.chord.Ref()
+	for len(cands) < k && budget > 0 {
+		parent, err := n.parentOf(rt, cur)
+		if err != nil || parent.IsZero() {
+			break
+		}
+		stats.Escalations++
+		raw, err := rt.Call(parent.Addr, MSearch, SearchReq{
+			Cons:    cons,
+			K:       k - len(cands),
+			Exclude: cur.Addr,
+			Budget:  budget,
+		})
+		stats.RPCs++
+		if err == nil {
+			sr := raw.(SearchResp)
+			cands = dedupCands(append(cands, sr.Cands...))
+			stats.Visits += sr.Visits
+			stats.RPCs += sr.RPCs
+			budget -= sr.Visits
+		}
+		cur = parent
+	}
+	if len(cands) == 0 {
+		return nil, stats, fmt.Errorf("%w: %s", ErrNoCandidate, cons)
+	}
+	return cands, stats, nil
+}
+
+// parentOf resolves a node's parent, locally for ourselves, over RPC
+// otherwise.
+func (n *Node) parentOf(rt transport.Runtime, node chord.Ref) (chord.Ref, error) {
+	if node.Addr == n.host.Addr() {
+		p := n.Parent()
+		if p.IsZero() {
+			// Parent may not be cached yet (before first aggregation
+			// round); compute it on demand.
+			return n.computeParent(rt)
+		}
+		return p, nil
+	}
+	raw, err := rt.Call(node.Addr, MParent, ParentReq{})
+	if err != nil {
+		return chord.Ref{}, err
+	}
+	return raw.(ParentResp).Parent, nil
+}
+
+// searchSubtree runs the subtree search rooted at this node: itself
+// first, then children whose summaries pass the pruning test, depth
+// first in deterministic order, until k candidates or the budget runs
+// out.
+func (n *Node) searchSubtree(rt transport.Runtime, req SearchReq) SearchResp {
+	resp := SearchResp{Visits: 1}
+	if req.Cons.SatisfiedBy(n.caps, n.os) {
+		n.mu.Lock()
+		load := n.loadFn()
+		n.mu.Unlock()
+		resp.Cands = append(resp.Cands, Candidate{Ref: n.chord.Ref(), Load: load})
+	}
+	budget := req.Budget - 1
+	n.mu.Lock()
+	type childSnap struct {
+		addr transport.Addr
+		sum  Summary
+	}
+	var snaps []childSnap
+	for _, addr := range n.sortedChildAddrsLocked() {
+		snaps = append(snaps, childSnap{addr, n.children[addr].sum})
+	}
+	n.mu.Unlock()
+
+	for _, c := range snaps {
+		if len(resp.Cands) >= req.K || budget <= 0 {
+			break
+		}
+		if c.addr == req.Exclude || !c.sum.mightSatisfy(req.Cons) {
+			continue
+		}
+		raw, err := rt.Call(c.addr, MSearch, SearchReq{
+			Cons:   req.Cons,
+			K:      req.K - len(resp.Cands),
+			Budget: budget,
+		})
+		resp.RPCs++
+		if err != nil {
+			continue
+		}
+		sr := raw.(SearchResp)
+		resp.Cands = dedupCands(append(resp.Cands, sr.Cands...))
+		resp.Visits += sr.Visits
+		resp.RPCs += sr.RPCs
+		budget -= sr.Visits
+	}
+	return resp
+}
+
+func dedupCands(cands []Candidate) []Candidate {
+	seen := make(map[transport.Addr]bool, len(cands))
+	out := cands[:0]
+	for _, c := range cands {
+		if !seen[c.Ref.Addr] {
+			seen[c.Ref.Addr] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// --- RPC handlers ---
+
+func (n *Node) handleUpdate(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	u := req.(UpdateReq)
+	// Sanity: we should be the Chord owner of the child's parent
+	// identifier; rather than recompute (expensive), accept and rely on
+	// the child's periodic parent recomputation to fix stale routing.
+	n.mu.Lock()
+	n.children[u.Child.Addr] = &childEntry{ref: u.Child, sum: u.Sum, lastSeen: rt.Now()}
+	n.mu.Unlock()
+	return UpdateResp{}, nil
+}
+
+func (n *Node) handleSearch(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	return n.searchSubtree(rt, req.(SearchReq)), nil
+}
+
+func (n *Node) handleParent(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	return ParentResp{Parent: n.Parent()}, nil
+}
+
+func (n *Node) handleWalk(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	return WalkResp{Next: n.randomNeighbor(rt)}, nil
+}
+
+func jitter(rt transport.Runtime, d time.Duration) time.Duration {
+	return d/2 + time.Duration(rt.Rand().Int63n(int64(d)))
+}

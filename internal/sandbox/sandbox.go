@@ -1,0 +1,225 @@
+// Package sandbox provides contained execution for grid jobs,
+// implementing the policies the paper sketches in Section 5: jobs may
+// not access the network, may only read and write files under a
+// prescribed root (a chroot-jail equivalent), are subject to
+// generalized quotas (output bytes, file count, wall-clock runtime),
+// and cannot crash the hosting node (panics become errors).
+//
+// The paper delegates containment to chroot/Xen; this package is the
+// in-process equivalent for Go job functions, exercising the same
+// admission, quota, and violation code paths.
+package sandbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Policy bounds what a job may do.
+type Policy struct {
+	// Root is the only directory subtree the job may touch. Empty means
+	// a fresh temporary directory per job.
+	Root string
+	// MaxOutputBytes caps total bytes written (default 10 MiB).
+	MaxOutputBytes int64
+	// MaxFiles caps the number of files created (default 64).
+	MaxFiles int
+	// MaxRuntime kills jobs that run too long (default 10 min).
+	MaxRuntime time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxOutputBytes == 0 {
+		p.MaxOutputBytes = 10 << 20
+	}
+	if p.MaxFiles == 0 {
+		p.MaxFiles = 64
+	}
+	if p.MaxRuntime == 0 {
+		p.MaxRuntime = 10 * time.Minute
+	}
+	return p
+}
+
+// Violation kinds.
+var (
+	ErrNetworkForbidden = errors.New("sandbox: network access forbidden")
+	ErrPathEscape       = errors.New("sandbox: path escapes sandbox root")
+	ErrQuotaExceeded    = errors.New("sandbox: quota exceeded")
+	ErrTimeout          = errors.New("sandbox: job exceeded runtime limit")
+	ErrPanic            = errors.New("sandbox: job panicked")
+)
+
+// Violation records one policy breach.
+type Violation struct {
+	Err    error
+	Detail string
+	At     time.Time
+}
+
+// JobFunc is the contained unit of work: it receives a cancellation
+// context and a restricted environment, and returns its result bytes.
+type JobFunc func(ctx context.Context, env *Env) ([]byte, error)
+
+// Sandbox executes jobs under a policy. One Sandbox may run many jobs
+// sequentially (the run node's FIFO discipline); it is safe for
+// concurrent use.
+type Sandbox struct {
+	policy Policy
+
+	mu         sync.Mutex
+	violations []Violation
+	ran        int
+}
+
+// New creates a sandbox with the given policy.
+func New(policy Policy) *Sandbox {
+	return &Sandbox{policy: policy.withDefaults()}
+}
+
+// Violations returns a copy of all recorded violations.
+func (s *Sandbox) Violations() []Violation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Violation(nil), s.violations...)
+}
+
+// Ran returns how many jobs have been executed.
+func (s *Sandbox) Ran() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ran
+}
+
+func (s *Sandbox) violate(err error, detail string) error {
+	s.mu.Lock()
+	s.violations = append(s.violations, Violation{Err: err, Detail: detail, At: time.Now()})
+	s.mu.Unlock()
+	return fmt.Errorf("%w: %s", err, detail)
+}
+
+// Run executes one job under the policy. The job's filesystem access
+// is confined to the policy root (or a fresh temp dir), its runtime is
+// bounded, and panics are converted to errors.
+func (s *Sandbox) Run(ctx context.Context, job JobFunc) (result []byte, err error) {
+	s.mu.Lock()
+	s.ran++
+	s.mu.Unlock()
+
+	root := s.policy.Root
+	cleanup := func() {}
+	if root == "" {
+		dir, terr := os.MkdirTemp("", "gridjob-*")
+		if terr != nil {
+			return nil, fmt.Errorf("sandbox: temp root: %w", terr)
+		}
+		root = dir
+		cleanup = func() { os.RemoveAll(dir) }
+	}
+	defer cleanup()
+
+	ctx, cancel := context.WithTimeout(ctx, s.policy.MaxRuntime)
+	defer cancel()
+
+	env := &Env{s: s, root: root}
+	type outcome struct {
+		res []byte
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{err: s.violate(ErrPanic, fmt.Sprint(r))}
+			}
+		}()
+		res, jerr := job(ctx, env)
+		done <- outcome{res: res, err: jerr}
+	}()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-ctx.Done():
+		// The job goroutine may still be running; it holds only the Env,
+		// whose operations all fail once the context is done.
+		return nil, s.violate(ErrTimeout, s.policy.MaxRuntime.String())
+	}
+}
+
+// Env is the restricted world a job sees.
+type Env struct {
+	s    *Sandbox
+	root string
+
+	mu      sync.Mutex
+	written int64
+	files   int
+}
+
+// Root returns the job's private directory.
+func (e *Env) Root() string { return e.root }
+
+// resolve confines a job-relative path to the root. Absolute paths and
+// paths that climb out of the root are violations, not silently
+// remapped — the job gets caught, matching chroot-jail expectations.
+func (e *Env) resolve(name string) (string, error) {
+	clean := filepath.Clean(name)
+	if filepath.IsAbs(clean) || clean == ".." || strings.HasPrefix(clean, ".."+string(filepath.Separator)) {
+		return "", e.s.violate(ErrPathEscape, name)
+	}
+	return filepath.Join(e.root, clean), nil
+}
+
+// WriteFile writes data to a file inside the sandbox, enforcing byte
+// and file-count quotas.
+func (e *Env) WriteFile(name string, data []byte) error {
+	full, err := e.resolve(name)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	if e.written+int64(len(data)) > e.s.policy.MaxOutputBytes {
+		e.mu.Unlock()
+		return e.s.violate(ErrQuotaExceeded, fmt.Sprintf("output bytes > %d", e.s.policy.MaxOutputBytes))
+	}
+	if e.files+1 > e.s.policy.MaxFiles {
+		e.mu.Unlock()
+		return e.s.violate(ErrQuotaExceeded, fmt.Sprintf("files > %d", e.s.policy.MaxFiles))
+	}
+	e.written += int64(len(data))
+	e.files++
+	e.mu.Unlock()
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		return fmt.Errorf("sandbox: mkdir: %w", err)
+	}
+	return os.WriteFile(full, data, 0o644)
+}
+
+// ReadFile reads a file from inside the sandbox.
+func (e *Env) ReadFile(name string) ([]byte, error) {
+	full, err := e.resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	return os.ReadFile(full)
+}
+
+// Dial always fails: grid jobs are forbidden from network access, as
+// the paper requires ("we will constrain jobs to not be able to access
+// the network").
+func (e *Env) Dial(network, address string) (any, error) {
+	return nil, e.s.violate(ErrNetworkForbidden, network+"/"+address)
+}
+
+// BytesWritten returns the job's output byte count so far.
+func (e *Env) BytesWritten() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.written
+}

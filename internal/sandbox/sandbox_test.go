@@ -1,0 +1,159 @@
+package sandbox
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestRunSuccess(t *testing.T) {
+	s := New(Policy{})
+	out, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		if err := env.WriteFile("result.txt", []byte("42")); err != nil {
+			return nil, err
+		}
+		return env.ReadFile("result.txt")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "42" {
+		t.Fatalf("out = %q", out)
+	}
+	if s.Ran() != 1 || len(s.Violations()) != 0 {
+		t.Fatalf("ran=%d violations=%v", s.Ran(), s.Violations())
+	}
+}
+
+func TestPathEscapeBlocked(t *testing.T) {
+	s := New(Policy{})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		return nil, env.WriteFile("../../etc/passwd", []byte("evil"))
+	})
+	if !errors.Is(err, ErrPathEscape) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(s.Violations()) != 1 {
+		t.Fatal("violation not recorded")
+	}
+}
+
+func TestDotDotWithinRootAllowed(t *testing.T) {
+	s := New(Policy{})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		// a/../b stays inside the root.
+		return nil, env.WriteFile("a/../b.txt", []byte("ok"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByteQuota(t *testing.T) {
+	s := New(Policy{MaxOutputBytes: 10})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		return nil, env.WriteFile("big", make([]byte, 11))
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestFileQuota(t *testing.T) {
+	s := New(Policy{MaxFiles: 2})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		for i := 0; i < 3; i++ {
+			if err := env.WriteFile(filepath.Join("f", string(rune('a'+i))), []byte("x")); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	})
+	if !errors.Is(err, ErrQuotaExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNetworkForbidden(t *testing.T) {
+	s := New(Policy{})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		_, derr := env.Dial("tcp", "example.com:80")
+		return nil, derr
+	})
+	if !errors.Is(err, ErrNetworkForbidden) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	s := New(Policy{MaxRuntime: 50 * time.Millisecond})
+	start := time.Now()
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout did not fire promptly")
+	}
+}
+
+func TestPanicContained(t *testing.T) {
+	s := New(Policy{})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		panic("malicious job")
+	})
+	if !errors.Is(err, ErrPanic) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTempRootCleanedUp(t *testing.T) {
+	s := New(Policy{})
+	var root string
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		root = env.Root()
+		return nil, env.WriteFile("f", []byte("x"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(root); !os.IsNotExist(statErr) {
+		t.Fatalf("temp root %s not cleaned up", root)
+	}
+}
+
+func TestExplicitRootReused(t *testing.T) {
+	dir := t.TempDir()
+	s := New(Policy{Root: dir})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		return nil, env.WriteFile("keep.txt", []byte("kept"))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, statErr := os.Stat(filepath.Join(dir, "keep.txt")); statErr != nil {
+		t.Fatalf("file not kept in explicit root: %v", statErr)
+	}
+}
+
+func TestBytesWritten(t *testing.T) {
+	s := New(Policy{})
+	_, err := s.Run(context.Background(), func(ctx context.Context, env *Env) ([]byte, error) {
+		if err := env.WriteFile("a", make([]byte, 7)); err != nil {
+			return nil, err
+		}
+		if env.BytesWritten() != 7 {
+			t.Errorf("BytesWritten = %d", env.BytesWritten())
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

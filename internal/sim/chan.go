@@ -1,0 +1,111 @@
+package sim
+
+import "time"
+
+// Chan is an unbounded FIFO queue connecting procs. Send never blocks
+// and is callable from proc or engine context; Recv blocks the calling
+// proc until a value arrives. Values are delivered in send order to
+// receivers in arrival order.
+type Chan[T any] struct {
+	e       *Engine
+	buf     []T
+	waiters []chanWaiter
+	kicked  bool
+}
+
+type chanWaiter struct {
+	p   *Proc
+	gen uint64
+}
+
+// NewChan returns an empty channel bound to engine e.
+func NewChan[T any](e *Engine) *Chan[T] {
+	return &Chan[T]{e: e}
+}
+
+// Len returns the number of buffered (undelivered) values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send enqueues v and wakes a waiting receiver, if any.
+func (c *Chan[T]) Send(v T) {
+	c.buf = append(c.buf, v)
+	c.kick()
+}
+
+// kick schedules a matching pass between buffered values and live
+// waiters. Matching happens in engine context because waking a proc
+// transfers control.
+func (c *Chan[T]) kick() {
+	if c.kicked || len(c.waiters) == 0 {
+		return
+	}
+	c.kicked = true
+	c.e.Schedule(0, func() {
+		c.kicked = false
+		for len(c.buf) > 0 && len(c.waiters) > 0 {
+			w := c.waiters[0]
+			c.waiters = c.waiters[1:]
+			v := c.buf[0]
+			if w.p.deliver(wake{gen: w.gen, val: v}) {
+				c.buf = c.buf[1:]
+			}
+		}
+	})
+}
+
+// TryRecv returns a buffered value without blocking. It reports false
+// when the channel is empty or other receivers are already queued.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.buf) == 0 || len(c.waiters) > 0 {
+		return zero, false
+	}
+	v := c.buf[0]
+	c.buf = c.buf[1:]
+	return v, true
+}
+
+// Recv blocks p until a value is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	p.checkKilled()
+	if v, ok := c.TryRecv(); ok {
+		return v
+	}
+	g := p.nextGen()
+	c.waiters = append(c.waiters, chanWaiter{p, g})
+	c.kick()
+	w := p.park()
+	return w.val.(T)
+}
+
+// RecvTimeout is Recv with a deadline; ok is false on timeout.
+func (c *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool) {
+	p.checkKilled()
+	if v, ok := c.TryRecv(); ok {
+		return v, true
+	}
+	g := p.nextGen()
+	c.waiters = append(c.waiters, chanWaiter{p, g})
+	c.kick()
+	timer := c.e.Schedule(d, func() {
+		if p.deliver(wake{gen: g, timeout: true}) {
+			c.removeWaiter(p, g)
+		}
+	})
+	w := p.park()
+	if w.timeout {
+		var zero T
+		return zero, false
+	}
+	timer.Stop()
+	return w.val.(T), true
+}
+
+func (c *Chan[T]) removeWaiter(p *Proc, gen uint64) {
+	for i, w := range c.waiters {
+		if w.p == p && w.gen == gen {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}

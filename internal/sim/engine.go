@@ -1,0 +1,231 @@
+// Package sim implements a deterministic discrete-event simulation
+// kernel. Protocol code runs inside Procs — goroutines that execute one
+// at a time under a virtual clock, so blocking-style code (sleep, RPC,
+// channel receive) simulates exactly and reproducibly.
+//
+// Concurrency model: the engine goroutine (the one calling Run) and at
+// most one Proc goroutine are runnable at any instant; control is handed
+// back and forth over unbuffered channels. Given a fixed seed and
+// workload, every run produces an identical event order.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is an instant of virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Add returns the instant d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration from u to t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Seconds returns the instant as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled occurrence. Stop cancels it if it has not fired.
+type Event struct {
+	at      Time
+	seq     uint64
+	fire    func()
+	stopped bool
+	index   int // heap index, -1 once popped
+}
+
+// Stop cancels the event. It is safe to call after the event has fired.
+func (ev *Event) Stop() { ev.stopped = true }
+
+// Engine is a discrete-event simulation driver. Create one with
+// NewEngine; it is not safe for concurrent use from multiple OS threads
+// outside the Proc discipline.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	ctl     chan struct{} // proc -> engine: "I yielded"
+	rng     *rand.Rand
+	procs   map[*Proc]struct{}
+	procSeq uint64
+	stopped bool
+	failure any // panic value escaped from a proc
+
+	// Trace, if non-nil, receives a line per context switch; useful when
+	// debugging protocol interleavings.
+	Trace func(format string, args ...any)
+}
+
+// NewEngine returns an engine whose randomness derives from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		ctl:   make(chan struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+		procs: make(map[*Proc]struct{}),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's master random stream. For independent
+// streams (one per node), use NewRand.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// NewRand returns a new random stream seeded from the master stream, so
+// per-node randomness is stable under changes elsewhere.
+func (e *Engine) NewRand() *rand.Rand {
+	return rand.New(rand.NewSource(e.rng.Int63()))
+}
+
+// Schedule registers fn to run in engine context (it must not block) at
+// time now+d. Negative d is treated as zero.
+func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	ev := &Event{at: e.now.Add(d), seq: e.seq, fire: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Pending returns the number of scheduled (uncancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// Stop makes Run return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events until none remain or Stop is called. It panics
+// with the original value if any Proc panicked.
+func (e *Engine) Run() {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		ev.fire()
+		e.checkFailure()
+	}
+}
+
+// RunUntil processes events with timestamps <= deadline, then sets the
+// clock to deadline (if it advanced that far).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > deadline {
+			e.now = deadline
+			return
+		}
+		heap.Pop(&e.queue)
+		if ev.stopped {
+			continue
+		}
+		e.now = ev.at
+		ev.fire()
+		e.checkFailure()
+	}
+	if e.now < deadline && e.queue.Len() == 0 {
+		e.now = deadline
+	}
+}
+
+// RunFor processes events for d of virtual time from now.
+func (e *Engine) RunFor(d time.Duration) { e.RunUntil(e.now.Add(d)) }
+
+// Parked returns the number of live procs currently blocked. A nonzero
+// value when Run returns indicates procs waiting on conditions that can
+// no longer occur (often intentional, e.g. servers awaiting requests).
+func (e *Engine) Parked() int {
+	n := 0
+	for p := range e.procs {
+		if p.state == pParked {
+			n++
+		}
+	}
+	return n
+}
+
+// Shutdown kills every live proc so their goroutines exit. Call after
+// Run when the engine will be discarded before process exit.
+func (e *Engine) Shutdown() {
+	for _, p := range SortProcs(e.procs) {
+		p.Kill()
+	}
+	// Drain the kill events.
+	e.Run()
+}
+
+// SortProcs returns the procs in a set ordered by creation, giving
+// callers a deterministic iteration order.
+func SortProcs(set map[*Proc]struct{}) []*Proc {
+	out := make([]*Proc, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (e *Engine) checkFailure() {
+	if e.failure != nil {
+		f := e.failure
+		e.failure = nil
+		panic(fmt.Sprintf("sim: proc panic: %v", f))
+	}
+}
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.Trace != nil {
+		e.Trace(format, args...)
+	}
+}
+
+// eventHeap orders events by (time, sequence) so simultaneous events
+// fire in scheduling order — the determinism guarantee.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

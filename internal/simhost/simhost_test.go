@@ -1,0 +1,107 @@
+package simhost
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+func pair(t *testing.T) (*sim.Engine, *Host, *Host) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	n := simnet.New(e)
+	n.Latency = simnet.FixedLatency(5 * time.Millisecond)
+	n.CallTimeout = 300 * time.Millisecond
+	return e, New(n.NewEndpoint("a")), New(n.NewEndpoint("b"))
+}
+
+func TestHostBasics(t *testing.T) {
+	e, a, b := pair(t)
+	defer e.Shutdown()
+	if a.Addr() != "a" || !a.Up() {
+		t.Fatal("addr/up wrong")
+	}
+	b.Handle("echo", func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		if from != "a" {
+			t.Errorf("from = %s", from)
+		}
+		return req, nil
+	})
+	done := false
+	a.Go("caller", func(rt transport.Runtime) {
+		defer func() { done = true }()
+		if rt.Now() != 0 {
+			t.Errorf("epoch now = %v", rt.Now())
+		}
+		rt.Sleep(time.Second)
+		if rt.Now() != time.Second {
+			t.Errorf("now after sleep = %v", rt.Now())
+		}
+		if rt.Rand() == nil {
+			t.Error("nil rand")
+		}
+		resp, err := rt.Call("b", "echo", 42)
+		if err != nil || resp != 42 {
+			t.Errorf("call: %v %v", resp, err)
+		}
+	})
+	e.Run()
+	if !done {
+		t.Fatal("activity did not run")
+	}
+	if a.Endpoint() == nil {
+		t.Fatal("Endpoint accessor nil")
+	}
+}
+
+func TestErrorTranslation(t *testing.T) {
+	e, a, b := pair(t)
+	defer e.Shutdown()
+	b.Handle("slow", func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		rt.Sleep(time.Hour)
+		return nil, nil
+	})
+	sentinel := errors.New("app error")
+	b.Handle("fail", func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		return nil, sentinel
+	})
+	a.Go("caller", func(rt transport.Runtime) {
+		if _, err := rt.Call("b", "missing", nil); !errors.Is(err, transport.ErrNoHandler) {
+			t.Errorf("no-handler: %v", err)
+		}
+		if _, err := rt.CallT("b", "slow", nil, 50*time.Millisecond); !errors.Is(err, transport.ErrTimeout) {
+			t.Errorf("timeout: %v", err)
+		}
+		if _, err := rt.Call("nowhere", "x", nil); !errors.Is(err, transport.ErrUnreachable) {
+			t.Errorf("unreachable: %v", err)
+		}
+		// Application errors pass through untranslated.
+		if _, err := rt.Call("b", "fail", nil); err == nil || err.Error() != "app error" {
+			t.Errorf("app error: %v", err)
+		}
+	})
+	e.Run()
+}
+
+func TestCrashKillsActivities(t *testing.T) {
+	e, a, _ := pair(t)
+	progressed := 0
+	a.Go("loop", func(rt transport.Runtime) {
+		for {
+			rt.Sleep(time.Second)
+			progressed++
+		}
+	})
+	e.Schedule(2500*time.Millisecond, func() { a.Endpoint().Crash() })
+	e.Run()
+	if progressed != 2 {
+		t.Fatalf("progressed %d ticks, want 2 (killed at 2.5s)", progressed)
+	}
+	if a.Up() {
+		t.Fatal("host still up after crash")
+	}
+}

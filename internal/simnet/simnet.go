@@ -1,0 +1,264 @@
+// Package simnet models a message-passing network on top of the sim
+// kernel: named endpoints, configurable latency, message loss,
+// partitions, and node crashes. Its RPC primitive (Call) blocks the
+// calling proc until a response arrives or a timeout fires, which is
+// exactly the programming model the live TCP transport provides, so
+// protocol code is transport-agnostic.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Addr names an endpoint (a simulated host).
+type Addr string
+
+// Errors returned by Call.
+var (
+	ErrTimeout     = errors.New("simnet: call timed out")
+	ErrUnreachable = errors.New("simnet: destination unreachable")
+	ErrNoHandler   = errors.New("simnet: no handler for method")
+	ErrDown        = errors.New("simnet: local endpoint is down")
+)
+
+// LatencyModel produces one-way message delays.
+type LatencyModel interface {
+	Delay(rng *rand.Rand, from, to Addr) time.Duration
+}
+
+// UniformLatency draws delays uniformly from [Min, Max].
+type UniformLatency struct {
+	Min, Max time.Duration
+}
+
+// Delay implements LatencyModel.
+func (u UniformLatency) Delay(rng *rand.Rand, from, to Addr) time.Duration {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + time.Duration(rng.Int63n(int64(u.Max-u.Min)))
+}
+
+// FixedLatency returns a constant delay.
+type FixedLatency time.Duration
+
+// Delay implements LatencyModel.
+func (f FixedLatency) Delay(*rand.Rand, Addr, Addr) time.Duration {
+	return time.Duration(f)
+}
+
+// Stats counts network activity; read it after a run.
+type Stats struct {
+	Messages  int64 // delivered messages (requests + responses)
+	Dropped   int64 // lost to DropProb or partitions
+	Timeouts  int64 // calls that timed out
+	Refused   int64 // calls rejected because the target was down
+	Handlers  int64 // handler invocations
+	CallsSent int64 // Call invocations
+}
+
+// Net is a simulated network. All endpoints attach to one Net.
+type Net struct {
+	Engine *sim.Engine
+
+	// Latency produces one-way delays; defaults to 20-60 ms.
+	Latency LatencyModel
+	// DropProb is the probability an individual message is lost.
+	DropProb float64
+	// CallTimeout bounds Call when the caller gives no explicit timeout.
+	CallTimeout time.Duration
+	// RefuseWhenDown makes calls to a down endpoint fail after one
+	// one-way latency (TCP RST behaviour) instead of timing out.
+	RefuseWhenDown bool
+
+	Stats Stats
+
+	rng       *rand.Rand
+	endpoints map[Addr]*Endpoint
+	reachable func(a, b Addr) bool
+}
+
+// New returns a network with default latency (20-60 ms one-way),
+// no drops, a 3 s call timeout, and RST-style refusal.
+func New(e *sim.Engine) *Net {
+	return &Net{
+		Engine:         e,
+		Latency:        UniformLatency{20 * time.Millisecond, 60 * time.Millisecond},
+		CallTimeout:    3 * time.Second,
+		RefuseWhenDown: true,
+		rng:            e.NewRand(),
+		endpoints:      make(map[Addr]*Endpoint),
+	}
+}
+
+// SetReachable installs a reachability predicate (nil means fully
+// connected) to model partitions.
+func (n *Net) SetReachable(fn func(a, b Addr) bool) { n.reachable = fn }
+
+func (n *Net) canReach(a, b Addr) bool {
+	return n.reachable == nil || n.reachable(a, b)
+}
+
+// Endpoint returns the endpoint with the given address, or nil.
+func (n *Net) Endpoint(addr Addr) *Endpoint { return n.endpoints[addr] }
+
+// NewEndpoint creates and registers an endpoint. It panics if the
+// address is taken.
+func (n *Net) NewEndpoint(addr Addr) *Endpoint {
+	if _, ok := n.endpoints[addr]; ok {
+		panic(fmt.Sprintf("simnet: duplicate endpoint %q", addr))
+	}
+	ep := &Endpoint{
+		net:      n,
+		addr:     addr,
+		up:       true,
+		handlers: make(map[string]Handler),
+		procs:    make(map[*sim.Proc]struct{}),
+	}
+	n.endpoints[addr] = ep
+	return ep
+}
+
+// Handler serves one inbound request. It runs in its own proc on the
+// destination endpoint and is killed if that endpoint crashes.
+type Handler func(p *sim.Proc, from Addr, req any) (any, error)
+
+// Endpoint is one simulated host's attachment to the network.
+type Endpoint struct {
+	net      *Net
+	addr     Addr
+	up       bool
+	handlers map[string]Handler
+	procs    map[*sim.Proc]struct{}
+	seq      int
+}
+
+// Addr returns the endpoint's address.
+func (ep *Endpoint) Addr() Addr { return ep.addr }
+
+// Up reports whether the endpoint is alive.
+func (ep *Endpoint) Up() bool { return ep.up }
+
+// Handle registers a handler for a method name.
+func (ep *Endpoint) Handle(method string, h Handler) {
+	ep.handlers[method] = h
+}
+
+// Go spawns a proc owned by this endpoint; it is killed when the
+// endpoint crashes. Use it for all node-resident activities.
+func (ep *Endpoint) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
+	ep.seq++
+	p := ep.net.Engine.Spawn(fmt.Sprintf("%s/%s#%d", ep.addr, name, ep.seq), fn)
+	ep.procs[p] = struct{}{}
+	p.OnKilled = func() { delete(ep.procs, p) }
+	return p
+}
+
+// Crash takes the endpoint down, killing every proc it owns (including
+// in-flight request handlers). In-flight messages to it are lost.
+func (ep *Endpoint) Crash() {
+	if !ep.up {
+		return
+	}
+	ep.up = false
+	for _, p := range sim.SortProcs(ep.procs) {
+		p.Kill()
+	}
+	ep.procs = make(map[*sim.Proc]struct{})
+}
+
+// Restart brings a crashed endpoint back up with no procs running;
+// higher layers must re-start their protocol loops and rejoin.
+func (ep *Endpoint) Restart() { ep.up = true }
+
+type rpcResult struct {
+	resp any
+	err  error
+}
+
+// Call performs a blocking RPC with the network's default timeout.
+func (ep *Endpoint) Call(p *sim.Proc, to Addr, method string, req any) (any, error) {
+	return ep.CallT(p, to, method, req, ep.net.CallTimeout)
+}
+
+// CallT performs a blocking RPC with an explicit timeout.
+func (ep *Endpoint) CallT(p *sim.Proc, to Addr, method string, req any, timeout time.Duration) (any, error) {
+	n := ep.net
+	n.Stats.CallsSent++
+	if !ep.up {
+		return nil, ErrDown
+	}
+	reply := sim.NewChan[rpcResult](n.Engine)
+	oneWay := n.Latency.Delay(n.rng, ep.addr, to)
+
+	if !n.canReach(ep.addr, to) || (n.DropProb > 0 && n.rng.Float64() < n.DropProb) {
+		n.Stats.Dropped++
+		// Message lost in transit: the caller just times out.
+	} else {
+		target := n.endpoints[to]
+		if target == nil || !target.up {
+			if n.RefuseWhenDown {
+				n.Stats.Refused++
+				n.Engine.Schedule(oneWay, func() {
+					reply.Send(rpcResult{err: ErrUnreachable})
+				})
+			}
+		} else {
+			n.Engine.Schedule(oneWay, func() {
+				n.deliver(ep.addr, to, method, req, reply)
+			})
+		}
+	}
+
+	res, ok := reply.RecvTimeout(p, timeout)
+	if !ok {
+		n.Stats.Timeouts++
+		return nil, ErrTimeout
+	}
+	return res.resp, res.err
+}
+
+// deliver runs on the engine at arrival time: it re-checks liveness
+// (the target may have crashed while the message was in flight) and
+// spawns a handler proc.
+func (n *Net) deliver(from, to Addr, method string, req any, reply *sim.Chan[rpcResult]) {
+	target := n.endpoints[to]
+	if target == nil || !target.up {
+		n.Stats.Dropped++
+		return
+	}
+	n.Stats.Messages++
+	h, ok := target.handlers[method]
+	if !ok {
+		n.respond(to, from, reply, rpcResult{err: fmt.Errorf("%w: %s on %s", ErrNoHandler, method, to)})
+		return
+	}
+	n.Stats.Handlers++
+	target.Go("h:"+method, func(p *sim.Proc) {
+		resp, err := h(p, from, req)
+		n.respond(to, from, reply, rpcResult{resp: resp, err: err})
+	})
+}
+
+// respond sends a response back across the network, subject to the
+// same loss and partition rules as the request.
+func (n *Net) respond(from, to Addr, reply *sim.Chan[rpcResult], res rpcResult) {
+	src := n.endpoints[from]
+	if src != nil && !src.up {
+		return // responder crashed before replying
+	}
+	if !n.canReach(from, to) || (n.DropProb > 0 && n.rng.Float64() < n.DropProb) {
+		n.Stats.Dropped++
+		return
+	}
+	oneWay := n.Latency.Delay(n.rng, from, to)
+	n.Engine.Schedule(oneWay, func() {
+		n.Stats.Messages++
+		reply.Send(res)
+	})
+}

@@ -1,0 +1,59 @@
+// Package transport defines the execution and messaging interfaces that
+// all protocol code (Chord, CAN, RN-Tree, the grid layer) is written
+// against. Two implementations exist: internal/simhost binds protocols
+// to the deterministic simulator, and internal/nettransport binds them
+// to real TCP sockets. Protocol packages therefore contain no knowledge
+// of whether time is virtual or wall-clock.
+package transport
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// Addr names a host. Under simulation it is a symbolic name ("n042");
+// over TCP it is a dialable "host:port".
+type Addr string
+
+// Sentinel errors surfaced by Call. Implementations translate their
+// native failures into these so protocol code can branch portably.
+var (
+	ErrTimeout     = errors.New("transport: call timed out")
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	ErrNoHandler   = errors.New("transport: no handler for method")
+	ErrDown        = errors.New("transport: local host is down")
+)
+
+// Handler serves one inbound request. It runs in its own execution
+// context (a simulated proc or a real goroutine) and may block.
+type Handler func(rt Runtime, from Addr, req any) (any, error)
+
+// Host is one node's attachment to the network: a registry of RPC
+// handlers plus the ability to start node-scoped activities. When the
+// node crashes (simulation) or shuts down (live), its activities stop.
+type Host interface {
+	Addr() Addr
+	Handle(method string, h Handler)
+	// Go starts a named node-scoped activity. fn may block.
+	Go(name string, fn func(rt Runtime))
+	// Up reports whether the host is currently alive.
+	Up() bool
+}
+
+// Runtime is the execution context handed to every activity and
+// handler: a clock, a private random stream, and blocking RPC.
+// Methods must be called only from the activity that owns the Runtime.
+type Runtime interface {
+	// Now returns elapsed time since the epoch of the underlying clock
+	// (simulation start or process start).
+	Now() time.Duration
+	// Sleep suspends the activity.
+	Sleep(d time.Duration)
+	// Rand returns the activity's private random stream.
+	Rand() *rand.Rand
+	// Call performs a blocking RPC with the transport's default timeout.
+	Call(to Addr, method string, req any) (any, error)
+	// CallT performs a blocking RPC with an explicit timeout.
+	CallT(to Addr, method string, req any, timeout time.Duration) (any, error)
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/can"
+	"repro/internal/chord"
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/resource"
+	"repro/internal/rntree"
+	"repro/internal/transport"
+)
+
+func TestAllMessagesRoundTripZeroValues(t *testing.T) {
+	for _, msg := range Messages() {
+		got, err := RoundTrip(msg)
+		if err != nil {
+			t.Errorf("%T: %v", msg, err)
+			continue
+		}
+		if reflect.TypeOf(got) != reflect.TypeOf(msg) {
+			t.Errorf("%T decoded as %T", msg, got)
+		}
+	}
+}
+
+func TestPopulatedMessagesRoundTrip(t *testing.T) {
+	ref := chord.Ref{ID: ids.HashString("n"), Addr: "host:1"}
+	cons := resource.Unconstrained.Require(resource.CPU, 2).RequireOS("linux")
+	cases := []any{
+		chord.StepResp{Done: true, Owner: ref, Next: ref},
+		chord.StateResp{Self: ref, Pred: ref, Succs: []chord.Ref{ref, ref}},
+		rntree.SearchReq{Cons: cons, K: 4, Exclude: "x", Budget: 64},
+		rntree.SearchResp{Cands: []rntree.Candidate{{Ref: ref, Load: 3}}, Visits: 5, RPCs: 4},
+		rntree.UpdateReq{Child: ref, Sum: rntree.Summary{
+			MaxCaps: resource.Vector{1, 2, 3}, MinLoad: 1, Nodes: 9, OSes: []string{"linux"},
+		}},
+		can.GossipReq{
+			From: can.Info{
+				Ref:   can.Ref{ID: ids.HashString("c"), Addr: "c:1"},
+				Zones: []can.Zone{can.UnitZone()},
+				Caps:  resource.Vector{1, 2, 3},
+				OS:    "linux",
+				Load:  7,
+			},
+			Digest: []can.Brief{{Ref: can.Ref{Addr: "d:1"}, Zones: []can.Zone{can.UnitZone()}}},
+		},
+		can.MatchReq{Cons: cons, Exclude: []transport.Addr{"a", "b"}, TTL: 3, Push: true},
+		grid.OwnReq{Prof: grid.Profile{
+			ID:     ids.HashString("job"),
+			Client: "client:9",
+			Cons:   cons,
+			Work:   100,
+		}},
+		grid.HeartbeatReq{Run: "r:1", Jobs: []ids.ID{ids.HashString("a"), ids.HashString("b")}},
+		grid.ResultReq{Res: grid.Result{JobID: ids.HashString("j"), RunNode: "r:2", OutputKB: 3}},
+	}
+	for _, msg := range cases {
+		got, err := RoundTrip(msg)
+		if err != nil {
+			t.Errorf("%T: %v", msg, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, msg) {
+			t.Errorf("%T round trip mismatch:\n got %+v\nwant %+v", msg, got, msg)
+		}
+	}
+}
