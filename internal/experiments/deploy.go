@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/chord"
+	"repro/internal/faultinject"
 	"repro/internal/grid"
 	"repro/internal/match"
 	"repro/internal/metrics"
@@ -78,6 +79,14 @@ type Scenario struct {
 	// Churn, if set, crashes that fraction of nodes (uniformly chosen,
 	// never clients) spread over the arrival window.
 	Churn float64
+	// Faults, if set, arms a seeded fault-injection schedule on top of
+	// (or instead of) Churn: message drops/delays/duplicates by RPC
+	// method, node crashes with restarts, and temporary partitions.
+	// Zero-valued Nodes/Protect/Window fields are filled in by Run
+	// (population size, the client nodes, and the arrival window).
+	Faults *faultinject.Plan
+	// FaultSeed seeds the fault schedule; defaults to NetSeed.
+	FaultSeed int64
 	// NodeSpecs overrides the generated node population (the facade and
 	// examples use this to supply explicit per-node resources).
 	NodeSpecs []workload.NodeSpec
@@ -248,6 +257,21 @@ func Build(s Scenario) *Deployment {
 		d.clients = append(d.clients, (c*n)/clients)
 	}
 	return d
+}
+
+// Crash implements faultinject.Harness: node i's endpoint goes down,
+// killing every proc it owns.
+func (d *Deployment) Crash(i int) { d.Eps[i].Crash() }
+
+// Restart implements faultinject.Harness: the endpoint comes back up
+// and the grid layer relaunches its loops with soft state cleared.
+// Overlay Start methods are started-flag guarded, so their periodic
+// loops stay down after a restart — the node still answers overlay
+// RPCs (handlers survive on the endpoint) but degrades until the next
+// run, which is the honest post-crash behaviour for this harness.
+func (d *Deployment) Restart(i int) {
+	d.Eps[i].Restart()
+	d.Grids[i].Restart()
 }
 
 func chordNeighbors(ch *chord.Node) []transport.Addr {

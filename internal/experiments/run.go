@@ -6,8 +6,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/grid"
 	"repro/internal/metrics"
+	"repro/internal/simnet"
 	"repro/internal/transport"
 )
 
@@ -35,6 +37,8 @@ type Results struct {
 	Resubmits     int
 	MatchFailed   int
 	GaveUp        int
+	DupStarts     int   // surplus executions beyond one per job GUID
+	Faulted       int64 // messages touched by the fault injector
 
 	SimEnd time.Duration // virtual time when the run stopped
 }
@@ -64,7 +68,7 @@ func (d *Deployment) Run() Results {
 				_, _ = node.Submit(rt, grid.JobSpec{Cons: job.Cons, Work: job.Work, InputKB: 4})
 			}
 		})
-		if s.Churn > 0 {
+		if s.Churn > 0 || s.Faults != nil {
 			node.StartClientMonitor(30 * time.Second)
 		}
 	}
@@ -96,6 +100,35 @@ func (d *Deployment) Run() Results {
 		}
 	}
 
+	// Seeded fault schedule: fill population-derived defaults, arm it,
+	// and disarm before the final drain so a pending restart event
+	// cannot respawn protocol loops mid-shutdown.
+	var disarmFaults func()
+	if s.Faults != nil {
+		plan := *s.Faults
+		if plan.Nodes == 0 {
+			plan.Nodes = len(d.Grids)
+		}
+		if plan.Protect == nil {
+			plan.Protect = append([]int(nil), d.clients...)
+		}
+		if plan.Window == 0 {
+			plan.Window = w.Makespan()
+			if plan.Window == 0 {
+				plan.Window = time.Minute
+			}
+		}
+		seed := s.FaultSeed
+		if seed == 0 {
+			seed = s.NetSeed
+		}
+		sched := faultinject.Generate(seed, plan)
+		d.Net.Faults = sched.Injector(func() time.Duration { return time.Duration(d.Engine.Now()) })
+		disarmFaults = sched.Arm(d.Engine, d.Net, d, func(i int) simnet.Addr {
+			return simnet.Addr(d.Hosts[i].Addr())
+		})
+	}
+
 	drain := s.DrainSlack
 	if drain == 0 {
 		drain = 40 * s.Workload.MeanRuntime
@@ -109,6 +142,9 @@ func (d *Deployment) Run() Results {
 		if time.Duration(d.Engine.Now()) >= deadline {
 			break
 		}
+	}
+	if disarmFaults != nil {
+		disarmFaults()
 	}
 	res := d.results()
 	d.Engine.Shutdown()
@@ -134,8 +170,16 @@ func (d *Deployment) results() Results {
 		Resubmits:     col.Count(grid.EvResubmitted),
 		MatchFailed:   col.Count(grid.EvMatchFailed),
 		GaveUp:        col.Count(grid.EvGaveUp),
+		Faulted:       d.Net.Stats.Faulted,
 		SimEnd:        time.Duration(d.Engine.Now()),
 	}
+	startedJobs := 0
+	for _, tr := range col.Jobs() {
+		if tr.Started {
+			startedJobs++
+		}
+	}
+	res.DupStarts = res.Started - startedJobs
 	perNode := make([]float64, 0, len(d.Grids))
 	for _, g := range d.Grids {
 		perNode = append(perNode, float64(g.Completed))

@@ -1,0 +1,288 @@
+// Package faultinject is a deterministic, seedable fault-injection
+// harness for the simulated grid. It produces two artefacts from one
+// seed:
+//
+//   - an Injector (message-level faults): drop, delay, or duplicate
+//     individual messages matched by RPC method name, on the request
+//     and/or response leg, via simnet's FaultInjector hook;
+//   - a Schedule (node- and network-level faults): crash/restart
+//     events for individual nodes and temporary partitions of address
+//     sets, armed onto the sim engine at fixed virtual times.
+//
+// Because the simulator itself is deterministic, re-running the same
+// deployment with the same schedule seed reproduces the identical
+// failure sequence and the identical protocol event trace — every bug
+// a random schedule surfaces is replayable by seed.
+package faultinject
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// Rule applies message-level faults to one RPC method (or to all
+// methods when Method is empty). The first rule matching a message
+// decides its fate; probabilities are evaluated per message.
+type Rule struct {
+	// Method is the exact RPC method name ("grid.heartbeat", ...);
+	// empty matches every method.
+	Method string
+	// Requests/Responses select which leg the rule covers; with both
+	// false the rule covers both legs.
+	Requests  bool
+	Responses bool
+	// DropProb loses the message entirely.
+	DropProb float64
+	// DupProb delivers a second copy of the message.
+	DupProb float64
+	// DelayProb adds a uniform extra delay in [DelayMin, DelayMax].
+	DelayProb float64
+	DelayMin  time.Duration
+	DelayMax  time.Duration
+}
+
+func (r Rule) matches(method string, response bool) bool {
+	if r.Method != "" && r.Method != method {
+		return false
+	}
+	if !r.Requests && !r.Responses {
+		return true
+	}
+	if response {
+		return r.Responses
+	}
+	return r.Requests
+}
+
+// Injector implements simnet.FaultInjector: a seeded RNG plus an
+// ordered rule list. Construct with NewInjector or Schedule.Injector.
+type Injector struct {
+	rng   *rand.Rand
+	rules []Rule
+
+	// Now, when set together with Until, confines faults to virtual
+	// times before Until, letting a run quiesce and drain.
+	Now   func() time.Duration
+	Until time.Duration
+
+	// Counters, readable after a run.
+	Drops, Dups, Delays int64
+}
+
+// NewInjector returns an injector whose randomness derives only from
+// seed; given the same message sequence it injects the same faults.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), rules: rules}
+}
+
+// Fate implements simnet.FaultInjector.
+func (in *Injector) Fate(from, to simnet.Addr, method string, response bool) simnet.Fault {
+	if in.Until > 0 && in.Now != nil && in.Now() >= in.Until {
+		return simnet.Fault{}
+	}
+	for _, r := range in.rules {
+		if !r.matches(method, response) {
+			continue
+		}
+		var f simnet.Fault
+		if r.DropProb > 0 && in.rng.Float64() < r.DropProb {
+			in.Drops++
+			f.Drop = true
+			return f
+		}
+		if r.DupProb > 0 && in.rng.Float64() < r.DupProb {
+			in.Dups++
+			f.Duplicate = true
+		}
+		if r.DelayProb > 0 && in.rng.Float64() < r.DelayProb {
+			in.Delays++
+			f.Delay = r.DelayMin
+			if r.DelayMax > r.DelayMin {
+				f.Delay += time.Duration(in.rng.Int63n(int64(r.DelayMax - r.DelayMin)))
+			}
+		}
+		return f
+	}
+	return simnet.Fault{}
+}
+
+// NodeEvent is one scheduled crash or restart of a node, identified by
+// its index in the harness's node list.
+type NodeEvent struct {
+	At      time.Duration
+	Node    int
+	Restart bool // false = crash
+}
+
+// Partition isolates Group from the rest of the network during
+// [From, Heal). Nodes inside the group still reach each other.
+type Partition struct {
+	From, Heal time.Duration
+	Group      []int
+}
+
+// Schedule is one replayable failure schedule over a fixed node
+// population: message-fault rules plus timed node and partition events.
+type Schedule struct {
+	Seed  int64
+	Rules []Rule
+	// RuleWindow, when nonzero, stops message faults at that virtual
+	// time (node/partition events carry their own times).
+	RuleWindow time.Duration
+	Nodes      []NodeEvent
+	Parts      []Partition
+}
+
+// Plan parameterizes random schedule generation.
+type Plan struct {
+	// Nodes is the population size; node indexes are [0, Nodes).
+	Nodes int
+	// Protect lists node indexes never crashed or partitioned (clients).
+	Protect []int
+	// Window is the virtual-time span [0, Window) in which faults occur.
+	Window time.Duration
+	// Crashes is how many crash events to schedule.
+	Crashes int
+	// RestartProb is the chance a crashed node is later restarted.
+	RestartProb float64
+	// RestartDelay bounds the crash-to-restart gap (uniform).
+	RestartDelayMin, RestartDelayMax time.Duration
+	// Partitions is how many partition events to schedule; each isolates
+	// PartitionSize nodes (default 1) for a uniform duration in
+	// [PartitionDurMin, PartitionDurMax].
+	Partitions      int
+	PartitionSize   int
+	PartitionDurMin time.Duration
+	PartitionDurMax time.Duration
+	// Rules are the message-fault rules, active during [0, Window).
+	Rules []Rule
+}
+
+// Generate derives a schedule deterministically from (seed, plan).
+func Generate(seed int64, p Plan) Schedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := Schedule{Seed: seed, Rules: p.Rules, RuleWindow: p.Window}
+	protect := make(map[int]bool, len(p.Protect))
+	for _, i := range p.Protect {
+		protect[i] = true
+	}
+	var eligible []int
+	for i := 0; i < p.Nodes; i++ {
+		if !protect[i] {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		return s
+	}
+	uniform := func(min, max time.Duration) time.Duration {
+		if max <= min {
+			return min
+		}
+		return min + time.Duration(rng.Int63n(int64(max-min)))
+	}
+	for k := 0; k < p.Crashes; k++ {
+		node := eligible[rng.Intn(len(eligible))]
+		at := uniform(0, p.Window)
+		s.Nodes = append(s.Nodes, NodeEvent{At: at, Node: node})
+		if p.RestartProb > 0 && rng.Float64() < p.RestartProb {
+			back := at + uniform(p.RestartDelayMin, p.RestartDelayMax)
+			s.Nodes = append(s.Nodes, NodeEvent{At: back, Node: node, Restart: true})
+		}
+	}
+	size := p.PartitionSize
+	if size <= 0 {
+		size = 1
+	}
+	if size > len(eligible) {
+		size = len(eligible)
+	}
+	for k := 0; k < p.Partitions; k++ {
+		perm := rng.Perm(len(eligible))
+		group := make([]int, size)
+		for i := 0; i < size; i++ {
+			group[i] = eligible[perm[i]]
+		}
+		sort.Ints(group)
+		from := uniform(0, p.Window)
+		s.Parts = append(s.Parts, Partition{
+			From:  from,
+			Heal:  from + uniform(p.PartitionDurMin, p.PartitionDurMax),
+			Group: group,
+		})
+	}
+	sort.SliceStable(s.Nodes, func(i, j int) bool { return s.Nodes[i].At < s.Nodes[j].At })
+	sort.SliceStable(s.Parts, func(i, j int) bool { return s.Parts[i].From < s.Parts[j].From })
+	return s
+}
+
+// Injector builds the schedule's message-fault injector. now may be
+// nil; when set, rules stop applying at RuleWindow. The injector's RNG
+// is derived from the schedule seed, independent of generation draws.
+func (s Schedule) Injector(now func() time.Duration) *Injector {
+	in := NewInjector(s.Seed+1, s.Rules...)
+	in.Now = now
+	in.Until = s.RuleWindow
+	return in
+}
+
+// Harness is what a deployment exposes for node events to act on.
+// Crash takes a node down (killing its activities); Restart brings it
+// back with protocol loops relaunched and soft state cleared.
+type Harness interface {
+	Crash(node int)
+	Restart(node int)
+}
+
+// Arm schedules the node and partition events onto engine e. Node
+// events call the harness; partitions install a reachability predicate
+// on net via addrOf (node index -> address). Overlapping partitions
+// compose: two addresses reach each other only if they are on the same
+// side of every active partition.
+//
+// The returned disarm cancels every not-yet-fired event. Call it
+// before draining the engine (e.g. sim.Engine.Shutdown): a pending
+// restart event that fires during the drain would spawn fresh protocol
+// loops after the kill sweep and the drain would never terminate.
+func (s Schedule) Arm(e *sim.Engine, net *simnet.Net, h Harness, addrOf func(i int) simnet.Addr) (disarm func()) {
+	var armed []*sim.Event
+	for _, ev := range s.Nodes {
+		ev := ev
+		if ev.Restart {
+			armed = append(armed, e.Schedule(ev.At, func() { h.Restart(ev.Node) }))
+		} else {
+			armed = append(armed, e.Schedule(ev.At, func() { h.Crash(ev.Node) }))
+		}
+	}
+	if len(s.Parts) > 0 {
+		active := make(map[int]map[simnet.Addr]bool)
+		net.SetReachable(func(a, b simnet.Addr) bool {
+			for _, group := range active {
+				if group[a] != group[b] {
+					return false
+				}
+			}
+			return true
+		})
+		for i, part := range s.Parts {
+			i, part := i, part
+			armed = append(armed, e.Schedule(part.From, func() {
+				group := make(map[simnet.Addr]bool, len(part.Group))
+				for _, n := range part.Group {
+					group[addrOf(n)] = true
+				}
+				active[i] = group
+			}))
+			armed = append(armed, e.Schedule(part.Heal, func() { delete(active, i) }))
+		}
+	}
+	return func() {
+		for _, ev := range armed {
+			ev.Stop()
+		}
+	}
+}

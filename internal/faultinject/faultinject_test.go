@@ -1,0 +1,203 @@
+package faultinject
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+func TestRuleMatching(t *testing.T) {
+	cases := []struct {
+		rule     Rule
+		method   string
+		response bool
+		want     bool
+	}{
+		{Rule{}, "grid.heartbeat", false, true},
+		{Rule{}, "grid.heartbeat", true, true},
+		{Rule{Method: "grid.heartbeat"}, "grid.heartbeat", false, true},
+		{Rule{Method: "grid.heartbeat"}, "grid.complete", false, false},
+		{Rule{Requests: true}, "x", false, true},
+		{Rule{Requests: true}, "x", true, false},
+		{Rule{Responses: true}, "x", true, true},
+		{Rule{Responses: true}, "x", false, false},
+		{Rule{Method: "m", Responses: true}, "m", false, false},
+	}
+	for i, c := range cases {
+		if got := c.rule.matches(c.method, c.response); got != c.want {
+			t.Errorf("case %d: matches(%q, %v) = %v, want %v", i, c.method, c.response, got, c.want)
+		}
+	}
+}
+
+func TestInjectorFirstMatchWins(t *testing.T) {
+	in := NewInjector(1,
+		Rule{Method: "a", DropProb: 1},
+		Rule{DelayProb: 1, DelayMin: time.Second, DelayMax: time.Second},
+	)
+	if f := in.Fate("x", "y", "a", false); !f.Drop {
+		t.Fatalf("method rule not applied: %+v", f)
+	}
+	f := in.Fate("x", "y", "b", false)
+	if f.Drop || f.Delay != time.Second {
+		t.Fatalf("catch-all delay rule not applied: %+v", f)
+	}
+	if in.Drops != 1 || in.Delays != 1 {
+		t.Fatalf("counters wrong: drops=%d delays=%d", in.Drops, in.Delays)
+	}
+}
+
+func TestInjectorDeterministic(t *testing.T) {
+	rules := []Rule{{DropProb: 0.3, DupProb: 0.3, DelayProb: 0.3,
+		DelayMin: time.Millisecond, DelayMax: 50 * time.Millisecond}}
+	run := func() []simnet.Fault {
+		in := NewInjector(42, rules...)
+		var out []simnet.Fault
+		for i := 0; i < 200; i++ {
+			out = append(out, in.Fate("a", "b", "m", i%2 == 0))
+		}
+		return out
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different fault sequences")
+	}
+}
+
+func TestInjectorWindow(t *testing.T) {
+	now := time.Duration(0)
+	in := NewInjector(7, Rule{DropProb: 1})
+	in.Now = func() time.Duration { return now }
+	in.Until = time.Minute
+	if f := in.Fate("a", "b", "m", false); !f.Drop {
+		t.Fatal("fault not injected inside the window")
+	}
+	now = time.Minute
+	if f := in.Fate("a", "b", "m", false); f.Drop {
+		t.Fatal("fault injected after the window closed")
+	}
+}
+
+func TestGenerateDeterministicAndProtects(t *testing.T) {
+	plan := Plan{
+		Nodes:           10,
+		Protect:         []int{0, 9},
+		Window:          time.Minute,
+		Crashes:         5,
+		RestartProb:     0.5,
+		RestartDelayMin: time.Second,
+		RestartDelayMax: 10 * time.Second,
+		Partitions:      3,
+		PartitionSize:   3,
+		PartitionDurMin: time.Second,
+		PartitionDurMax: 20 * time.Second,
+	}
+	a, b := Generate(5, plan), Generate(5, plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	if len(a.Nodes) < plan.Crashes {
+		t.Fatalf("only %d node events for %d crashes", len(a.Nodes), plan.Crashes)
+	}
+	if len(a.Parts) != plan.Partitions {
+		t.Fatalf("%d partitions, want %d", len(a.Parts), plan.Partitions)
+	}
+	for _, ev := range a.Nodes {
+		if ev.Node == 0 || ev.Node == 9 {
+			t.Fatalf("protected node %d scheduled for crash/restart", ev.Node)
+		}
+		if !ev.Restart && ev.At > plan.Window {
+			t.Fatalf("crash at %v outside window %v", ev.At, plan.Window)
+		}
+	}
+	for _, p := range a.Parts {
+		if p.Heal <= p.From {
+			t.Fatalf("partition heals (%v) before it forms (%v)", p.Heal, p.From)
+		}
+		if len(p.Group) != plan.PartitionSize {
+			t.Fatalf("partition group size %d, want %d", len(p.Group), plan.PartitionSize)
+		}
+		for _, n := range p.Group {
+			if n == 0 || n == 9 {
+				t.Fatalf("protected node %d partitioned", n)
+			}
+		}
+	}
+	// Different seeds diverge (with overwhelming probability).
+	if c := Generate(6, plan); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateAllProtected(t *testing.T) {
+	s := Generate(1, Plan{Nodes: 2, Protect: []int{0, 1}, Crashes: 3, Partitions: 2, Window: time.Minute})
+	if len(s.Nodes) != 0 || len(s.Parts) != 0 {
+		t.Fatalf("events scheduled with no eligible nodes: %+v", s)
+	}
+}
+
+func TestScheduleInjectorIndependentOfGeneration(t *testing.T) {
+	plan := Plan{Nodes: 4, Window: time.Minute, Crashes: 2,
+		Rules: []Rule{{DropProb: 0.5}}}
+	// The injector's stream must depend only on the seed, not on how
+	// many draws generation consumed.
+	more := plan
+	more.Crashes = 7
+	a := Generate(9, plan).Injector(nil)
+	b := Generate(9, more).Injector(nil)
+	for i := 0; i < 100; i++ {
+		fa := a.Fate("x", "y", "m", false)
+		fb := b.Fate("x", "y", "m", false)
+		if fa != fb {
+			t.Fatalf("draw %d differs: %+v vs %+v", i, fa, fb)
+		}
+	}
+}
+
+type fakeHarness struct {
+	crashes, restarts []int
+}
+
+func (h *fakeHarness) Crash(i int)   { h.crashes = append(h.crashes, i) }
+func (h *fakeHarness) Restart(i int) { h.restarts = append(h.restarts, i) }
+
+func TestArmFiresEventsAndDisarms(t *testing.T) {
+	e := sim.NewEngine(1)
+	net := simnet.New(e)
+	addrOf := func(i int) simnet.Addr { return simnet.Addr(fmt.Sprintf("n%d", i)) }
+	s := Schedule{
+		Nodes: []NodeEvent{
+			{At: time.Second, Node: 1},
+			{At: 2 * time.Second, Node: 1, Restart: true},
+			{At: 10 * time.Second, Node: 2},
+		},
+		Parts: []Partition{{From: time.Second, Heal: 3 * time.Second, Group: []int{1, 2}}},
+	}
+	h := &fakeHarness{}
+	disarm := s.Arm(e, net, h, addrOf)
+
+	e.RunFor(1500 * time.Millisecond)
+	if len(h.crashes) != 1 || h.crashes[0] != 1 {
+		t.Fatalf("crashes after 1.5s: %v", h.crashes)
+	}
+	// Partition active: group nodes reach each other but not outsiders.
+	if !net.Reachable(addrOf(1), addrOf(2)) || net.Reachable(addrOf(1), addrOf(0)) {
+		t.Fatal("partition predicate wrong while active")
+	}
+	e.RunFor(2 * time.Second) // now at 3.5s: restart fired, partition healed
+	if len(h.restarts) != 1 || h.restarts[0] != 1 {
+		t.Fatalf("restarts after 3.5s: %v", h.restarts)
+	}
+	if !net.Reachable(addrOf(1), addrOf(0)) {
+		t.Fatal("partition did not heal")
+	}
+
+	disarm()
+	e.RunFor(time.Minute)
+	if len(h.crashes) != 1 {
+		t.Fatalf("disarmed event still fired: %v", h.crashes)
+	}
+}

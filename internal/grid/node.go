@@ -103,13 +103,23 @@ const (
 
 // ownedJob is the owner-side record of a job.
 type ownedJob struct {
-	prof     Profile
-	run      transport.Addr
-	matched  bool
-	excluded []transport.Addr
-	lastHB   time.Duration
-	matching bool
-	relay    *Result // result awaiting relay to the client
+	prof       Profile
+	run        transport.Addr
+	matched    bool
+	excluded   []transport.Addr
+	lastHB     time.Duration
+	matching   bool
+	relay      *Result // result awaiting relay to the client
+	relayTries int     // failed relay attempts so far
+}
+
+func (j *ownedJob) isExcluded(a transport.Addr) bool {
+	for _, x := range j.excluded {
+		if x == a {
+			return true
+		}
+	}
+	return false
 }
 
 // queuedJob is the run-node-side record.
@@ -220,6 +230,23 @@ func (n *Node) Start() {
 	n.host.Go("grid.exec", n.execLoop)
 	n.host.Go("grid.heartbeat", n.heartbeatLoop)
 	n.host.Go("grid.monitor", n.ownerMonitorLoop)
+}
+
+// Restart models a process restart after a crash: all server-side soft
+// state (owned jobs, run queue, drop markers) is lost and the
+// background loops relaunch. Client-side submission tracking survives,
+// as if persisted. Call only after the host has crashed and been
+// brought back up — the crash killed the previous loops; calling this
+// on a live node would double them.
+func (n *Node) Restart() {
+	n.mu.Lock()
+	n.owned = make(map[ids.ID]*ownedJob)
+	n.queue = nil
+	n.running = nil
+	n.done = make(map[ids.ID]bool)
+	n.started = false
+	n.mu.Unlock()
+	n.Start()
 }
 
 func (n *Node) record(kind EventKind, prof Profile, at time.Duration, extra ...MatchStats) {
@@ -361,49 +388,65 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 func (n *Node) ownerMonitorLoop(rt transport.Runtime) {
 	for {
 		rt.Sleep(n.cfg.HeartbeatEvery)
-		now := rt.Now()
-		var rematch []ids.ID
-		var relays []Result
-		n.mu.Lock()
-		jobIDs := make([]ids.ID, 0, len(n.owned))
-		for id := range n.owned {
-			jobIDs = append(jobIDs, id)
+		n.monitorTick(rt)
+	}
+}
+
+// deadRun is one job whose run node was declared dead, with the
+// profile captured under the same lock that scanned it.
+type deadRun struct {
+	id   ids.ID
+	prof Profile
+}
+
+// monitorTick performs one owner-monitor pass. The profile of every
+// job marked for rematch is captured inside the scan's critical
+// section: a concurrent handleComplete/tryRelay may delete the job
+// between the scan and the rematch spawn, so the owned map must not be
+// re-read afterwards.
+func (n *Node) monitorTick(rt transport.Runtime) {
+	now := rt.Now()
+	var rematch []deadRun
+	var relays []Result
+	n.mu.Lock()
+	jobIDs := make([]ids.ID, 0, len(n.owned))
+	for id := range n.owned {
+		jobIDs = append(jobIDs, id)
+	}
+	sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i].Less(jobIDs[j]) })
+	for _, id := range jobIDs {
+		job := n.owned[id]
+		if job.relay != nil {
+			relays = append(relays, *job.relay)
+			continue
 		}
-		sort.Slice(jobIDs, func(i, j int) bool { return jobIDs[i].Less(jobIDs[j]) })
-		for _, id := range jobIDs {
-			job := n.owned[id]
-			if job.relay != nil {
-				relays = append(relays, *job.relay)
-				continue
-			}
-			if !job.matched || job.matching {
-				continue
-			}
-			if now-job.lastHB > n.cfg.RunDeadAfter {
-				job.excluded = append(job.excluded, job.run)
-				job.matched = false
-				job.matching = true
-				rematch = append(rematch, id)
-			}
+		if !job.matched || job.matching {
+			continue
 		}
-		n.mu.Unlock()
-		for _, id := range rematch {
-			n.mu.Lock()
-			prof := n.owned[id].prof
-			n.mu.Unlock()
-			n.record(EvRunFailureDetected, prof, now)
-			id := id
-			n.host.Go("grid.rematch", func(rt transport.Runtime) {
-				n.matchAndAssign(rt, id)
-			})
+		if now-job.lastHB > n.cfg.RunDeadAfter {
+			job.excluded = append(job.excluded, job.run)
+			job.matched = false
+			job.matching = true
+			rematch = append(rematch, deadRun{id: id, prof: job.prof})
 		}
-		for _, res := range relays {
-			n.tryRelay(rt, res)
-		}
+	}
+	n.mu.Unlock()
+	for _, d := range rematch {
+		n.record(EvRunFailureDetected, d.prof, now)
+		id := d.id
+		n.host.Go("grid.rematch", func(rt transport.Runtime) {
+			n.matchAndAssign(rt, id)
+		})
+	}
+	for _, res := range relays {
+		n.tryRelay(rt, res)
 	}
 }
 
 // tryRelay forwards a result to the client on the run node's behalf.
+// Attempts are bounded by ResultRetries: a client that never comes
+// back must not pin the owned entry forever, so the owner eventually
+// gives the job up (the client's own monitor resubmits if it returns).
 func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 	n.mu.Lock()
 	job, ok := n.owned[res.JobID]
@@ -419,6 +462,23 @@ func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 		n.mu.Lock()
 		delete(n.owned, res.JobID)
 		n.mu.Unlock()
+		return
+	}
+	n.mu.Lock()
+	job, ok = n.owned[res.JobID]
+	var prof Profile
+	gaveUp := false
+	if ok {
+		job.relayTries++
+		if job.relayTries >= n.cfg.ResultRetries {
+			prof = job.prof
+			delete(n.owned, res.JobID)
+			gaveUp = true
+		}
+	}
+	n.mu.Unlock()
+	if gaveUp {
+		n.record(EvGaveUp, prof, rt.Now())
 	}
 }
 
@@ -481,7 +541,12 @@ func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req an
 	n.mu.Lock()
 	for _, id := range hb.Jobs {
 		job, ok := n.owned[id]
-		if !ok || (job.matched && job.run != hb.Run) {
+		// A sender in job.excluded is a run node this owner has already
+		// given up on: even while a rematch is in flight (job unmatched),
+		// its heartbeat must not refresh lastHB, and it must be told to
+		// drop the job — otherwise the job runs twice once the rematch
+		// lands.
+		if !ok || (job.matched && job.run != hb.Run) || job.isExcluded(hb.Run) {
 			drop = append(drop, id)
 			continue
 		}

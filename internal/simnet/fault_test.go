@@ -1,0 +1,117 @@
+package simnet_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// faultPair builds two endpoints with a fixed 10ms latency and an echo
+// handler on "b", driven by the given fault function.
+func faultPair(t *testing.T, fn simnet.FaultFunc) (*sim.Engine, *simnet.Net, *simnet.Endpoint) {
+	t.Helper()
+	e := sim.NewEngine(1)
+	net := simnet.New(e)
+	net.Latency = simnet.FixedLatency(10 * time.Millisecond)
+	net.Faults = fn
+	a := net.NewEndpoint("a")
+	b := net.NewEndpoint("b")
+	b.Handle("echo", func(p *sim.Proc, from simnet.Addr, req any) (any, error) {
+		return req, nil
+	})
+	return e, net, a
+}
+
+func TestFaultDropRequestTimesOut(t *testing.T) {
+	e, net, a := faultPair(t, func(from, to simnet.Addr, method string, response bool) simnet.Fault {
+		return simnet.Fault{Drop: !response}
+	})
+	var err error
+	e.Spawn("caller", func(p *sim.Proc) {
+		_, err = a.CallT(p, "b", "echo", "hi", time.Second)
+	})
+	e.Run()
+	if !errors.Is(err, simnet.ErrTimeout) {
+		t.Fatalf("dropped request returned %v, want timeout", err)
+	}
+	if net.Stats.Faulted != 1 || net.Stats.Dropped != 1 {
+		t.Fatalf("stats: %+v", net.Stats)
+	}
+}
+
+func TestFaultDropResponseTimesOut(t *testing.T) {
+	e, net, a := faultPair(t, func(from, to simnet.Addr, method string, response bool) simnet.Fault {
+		return simnet.Fault{Drop: response}
+	})
+	var err error
+	e.Spawn("caller", func(p *sim.Proc) {
+		_, err = a.CallT(p, "b", "echo", "hi", time.Second)
+	})
+	e.Run()
+	if !errors.Is(err, simnet.ErrTimeout) {
+		t.Fatalf("dropped response returned %v, want timeout", err)
+	}
+	if net.Stats.Handlers != 1 {
+		t.Fatal("handler never ran; the request leg should have been clean")
+	}
+}
+
+func TestFaultDelayPostponesDelivery(t *testing.T) {
+	e, _, a := faultPair(t, func(from, to simnet.Addr, method string, response bool) simnet.Fault {
+		if response {
+			return simnet.Fault{}
+		}
+		return simnet.Fault{Delay: time.Second}
+	})
+	var took time.Duration
+	e.Spawn("caller", func(p *sim.Proc) {
+		start := p.Now()
+		if _, err := a.CallT(p, "b", "echo", "hi", 5*time.Second); err != nil {
+			t.Errorf("call: %v", err)
+		}
+		took = time.Duration(p.Now() - start)
+	})
+	e.Run()
+	// 10ms out (+1s injected) + 10ms back.
+	if took < 1020*time.Millisecond || took > 1100*time.Millisecond {
+		t.Fatalf("delayed call took %v, want ~1.02s", took)
+	}
+}
+
+func TestFaultDuplicateRunsHandlerTwice(t *testing.T) {
+	e, net, a := faultPair(t, func(from, to simnet.Addr, method string, response bool) simnet.Fault {
+		return simnet.Fault{Duplicate: !response}
+	})
+	var resp any
+	var err error
+	e.Spawn("caller", func(p *sim.Proc) {
+		resp, err = a.CallT(p, "b", "echo", "hi", time.Second)
+	})
+	e.Run()
+	if err != nil || resp != "hi" {
+		t.Fatalf("duplicated call returned (%v, %v), want (hi, nil)", resp, err)
+	}
+	if net.Stats.Handlers != 2 {
+		t.Fatalf("handler ran %d times, want 2 (original + duplicate)", net.Stats.Handlers)
+	}
+}
+
+func TestFaultZeroValueIsTransparent(t *testing.T) {
+	e, net, a := faultPair(t, func(from, to simnet.Addr, method string, response bool) simnet.Fault {
+		return simnet.Fault{}
+	})
+	var err error
+	e.Spawn("caller", func(p *sim.Proc) {
+		_, err = a.CallT(p, "b", "echo", "hi", time.Second)
+	})
+	e.Run()
+	if err != nil {
+		t.Fatalf("clean call failed: %v", err)
+	}
+	if net.Stats.Faulted != 0 {
+		t.Fatalf("zero fault counted as injected: %+v", net.Stats)
+	}
+}

@@ -52,14 +52,45 @@ func (f FixedLatency) Delay(*rand.Rand, Addr, Addr) time.Duration {
 	return time.Duration(f)
 }
 
+// Fault is an injected fate for one in-flight message. The zero value
+// delivers the message normally.
+type Fault struct {
+	// Drop loses the message in transit; the caller times out (requests)
+	// or never hears back (responses).
+	Drop bool
+	// Delay adds extra one-way latency before delivery.
+	Delay time.Duration
+	// Duplicate delivers a second copy after an additional latency draw,
+	// exercising at-least-once semantics in the protocol under test.
+	Duplicate bool
+}
+
+// FaultInjector is consulted once per message send — request and
+// response legs separately — before latency, loss, and partition rules
+// apply. Injected faults are counted in Stats.Faulted. Implementations
+// must be deterministic for a fixed construction seed; the simulator
+// presents messages in a reproducible order.
+type FaultInjector interface {
+	Fate(from, to Addr, method string, response bool) Fault
+}
+
+// FaultFunc adapts a function to the FaultInjector interface.
+type FaultFunc func(from, to Addr, method string, response bool) Fault
+
+// Fate implements FaultInjector.
+func (f FaultFunc) Fate(from, to Addr, method string, response bool) Fault {
+	return f(from, to, method, response)
+}
+
 // Stats counts network activity; read it after a run.
 type Stats struct {
 	Messages  int64 // delivered messages (requests + responses)
-	Dropped   int64 // lost to DropProb or partitions
+	Dropped   int64 // lost to DropProb, partitions, or injected drops
 	Timeouts  int64 // calls that timed out
 	Refused   int64 // calls rejected because the target was down
 	Handlers  int64 // handler invocations
 	CallsSent int64 // Call invocations
+	Faulted   int64 // messages touched by the fault injector
 }
 
 // Net is a simulated network. All endpoints attach to one Net.
@@ -75,6 +106,9 @@ type Net struct {
 	// RefuseWhenDown makes calls to a down endpoint fail after one
 	// one-way latency (TCP RST behaviour) instead of timing out.
 	RefuseWhenDown bool
+	// Faults, when non-nil, decides per-message injected faults (drops,
+	// extra delay, duplication) on top of DropProb and partitions.
+	Faults FaultInjector
 
 	Stats Stats
 
@@ -103,6 +137,10 @@ func (n *Net) SetReachable(fn func(a, b Addr) bool) { n.reachable = fn }
 func (n *Net) canReach(a, b Addr) bool {
 	return n.reachable == nil || n.reachable(a, b)
 }
+
+// Reachable reports whether messages from a currently reach b under
+// the installed partition predicate.
+func (n *Net) Reachable(a, b Addr) bool { return n.canReach(a, b) }
 
 // Endpoint returns the endpoint with the given address, or nil.
 func (n *Net) Endpoint(addr Addr) *Endpoint { return n.endpoints[addr] }
@@ -195,8 +233,9 @@ func (ep *Endpoint) CallT(p *sim.Proc, to Addr, method string, req any, timeout 
 	}
 	reply := sim.NewChan[rpcResult](n.Engine)
 	oneWay := n.Latency.Delay(n.rng, ep.addr, to)
+	fault := n.fate(ep.addr, to, method, false)
 
-	if !n.canReach(ep.addr, to) || (n.DropProb > 0 && n.rng.Float64() < n.DropProb) {
+	if fault.Drop || !n.canReach(ep.addr, to) || (n.DropProb > 0 && n.rng.Float64() < n.DropProb) {
 		n.Stats.Dropped++
 		// Message lost in transit: the caller just times out.
 	} else {
@@ -209,9 +248,16 @@ func (ep *Endpoint) CallT(p *sim.Proc, to Addr, method string, req any, timeout 
 				})
 			}
 		} else {
-			n.Engine.Schedule(oneWay, func() {
+			n.Engine.Schedule(oneWay+fault.Delay, func() {
 				n.deliver(ep.addr, to, method, req, reply)
 			})
+			if fault.Duplicate {
+				// The copy takes its own (later) path through the network.
+				dupWay := oneWay + fault.Delay + n.Latency.Delay(n.rng, ep.addr, to)
+				n.Engine.Schedule(dupWay, func() {
+					n.deliver(ep.addr, to, method, req, reply)
+				})
+			}
 		}
 	}
 
@@ -235,30 +281,49 @@ func (n *Net) deliver(from, to Addr, method string, req any, reply *sim.Chan[rpc
 	n.Stats.Messages++
 	h, ok := target.handlers[method]
 	if !ok {
-		n.respond(to, from, reply, rpcResult{err: fmt.Errorf("%w: %s on %s", ErrNoHandler, method, to)})
+		n.respond(to, from, method, reply, rpcResult{err: fmt.Errorf("%w: %s on %s", ErrNoHandler, method, to)})
 		return
 	}
 	n.Stats.Handlers++
 	target.Go("h:"+method, func(p *sim.Proc) {
 		resp, err := h(p, from, req)
-		n.respond(to, from, reply, rpcResult{resp: resp, err: err})
+		n.respond(to, from, method, reply, rpcResult{resp: resp, err: err})
 	})
 }
 
 // respond sends a response back across the network, subject to the
-// same loss and partition rules as the request.
-func (n *Net) respond(from, to Addr, reply *sim.Chan[rpcResult], res rpcResult) {
+// same loss, partition, and fault-injection rules as the request.
+func (n *Net) respond(from, to Addr, method string, reply *sim.Chan[rpcResult], res rpcResult) {
 	src := n.endpoints[from]
 	if src != nil && !src.up {
 		return // responder crashed before replying
 	}
-	if !n.canReach(from, to) || (n.DropProb > 0 && n.rng.Float64() < n.DropProb) {
+	fault := n.fate(from, to, method, true)
+	if fault.Drop || !n.canReach(from, to) || (n.DropProb > 0 && n.rng.Float64() < n.DropProb) {
 		n.Stats.Dropped++
 		return
 	}
-	oneWay := n.Latency.Delay(n.rng, from, to)
-	n.Engine.Schedule(oneWay, func() {
+	oneWay := n.Latency.Delay(n.rng, from, to) + fault.Delay
+	send := func() {
 		n.Stats.Messages++
 		reply.Send(res)
-	})
+	}
+	n.Engine.Schedule(oneWay, send)
+	if fault.Duplicate {
+		// A duplicate reply is buffered and ignored by the caller, which
+		// has already moved on — still worth modelling for stats.
+		n.Engine.Schedule(oneWay+n.Latency.Delay(n.rng, from, to), send)
+	}
+}
+
+// fate consults the fault injector, if any.
+func (n *Net) fate(from, to Addr, method string, response bool) Fault {
+	if n.Faults == nil {
+		return Fault{}
+	}
+	f := n.Faults.Fate(from, to, method, response)
+	if f.Drop || f.Duplicate || f.Delay != 0 {
+		n.Stats.Faulted++
+	}
+	return f
 }
