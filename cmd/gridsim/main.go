@@ -10,7 +10,8 @@
 // Experiments: fig2a fig2b (clustered avg/stdev), fig2c fig2d (mixed),
 // tab1 (matchmaking cost), tab2 (CAN pushing), tab3 (DHT behaviour),
 // tab4 (robustness/churn), tab5 (TTL misses), faultsweep (seeded
-// fault injection), ablate-virtualdim, ablate-k, ablate-fair, all.
+// fault injection), ckptsweep (checkpoint/resume policies),
+// ablate-virtualdim, ablate-k, ablate-fair, all.
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 var experimentOrder = []string{
 	"fig2a", "fig2b", "fig2c", "fig2d",
 	"tab1", "tab2", "tab3", "tab4", "tab5",
-	"faultsweep",
+	"faultsweep", "ckptsweep",
 	"ablate-virtualdim", "ablate-k", "ablate-fair",
 }
 
@@ -109,6 +110,8 @@ func run(id string, o experiments.Options) (*experiments.Table, error) {
 		return experiments.TTLFailure(o), nil
 	case "faultsweep":
 		return experiments.FaultSweep(o), nil
+	case "ckptsweep":
+		return experiments.CkptSweep(o), nil
 	case "ablate-virtualdim":
 		return experiments.VirtualDimAblation(o), nil
 	case "ablate-k":

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/workload"
+)
+
+// ckptPolicy is one checkpointing configuration under comparison.
+type ckptPolicy struct {
+	name string
+	cfg  grid.Config
+}
+
+func ckptPolicies() []ckptPolicy {
+	return []ckptPolicy{
+		// The paper's baseline: recovery restarts jobs from scratch.
+		{name: "off", cfg: grid.Config{}},
+		// Fixed-interval snapshots every 10 s of execution.
+		{name: "fixed-10s", cfg: grid.Config{CheckpointEvery: 10 * time.Second}},
+		// Young's-rule interval adapted to the observed failure rate
+		// (Ni & Harwood's adaptive scheme), clamped to [2 s, 30 s].
+		{name: "adaptive", cfg: grid.Config{
+			CheckpointEvery:    10 * time.Second,
+			CheckpointAdaptive: true,
+			CheckpointMinEvery: 2 * time.Second,
+			CheckpointMaxEvery: 30 * time.Second,
+		}},
+	}
+}
+
+// CkptSweep compares checkpoint policies — off, fixed interval, and
+// failure-rate-adaptive — under the fault sweep's seeded schedules.
+// The interesting columns are re-exec-work (recovery re-runs that
+// checkpointing exists to cut) and lost-work (all executed-but-undelivered
+// effort); resumed-work is what snapshots salvaged outright.
+func CkptSweep(o Options) *Table {
+	tbl := &Table{
+		Title:  "Checkpoint sweep: off vs fixed vs adaptive under seeded faults (RN-Tree, maintenance on)",
+		Header: []string{"faults", "policy", "delivered", "ckpts", "resumes", "resumed-work", "lost-work", "re-exec-work", "avg-turnaround"},
+		Notes: []string{
+			"work columns are seconds of nominal work; schedules are seeded and replayable",
+			"lost-work: executed work absent from any delivered result; re-exec-work: its share on eventually-delivered jobs",
+			"resumed-work: work skipped by resuming from owner-held snapshots instead of restarting",
+		},
+	}
+	for _, lvl := range faultLevels() {
+		if lvl.plan == nil || lvl.plan.Crashes == 0 {
+			// Checkpoints only pay off when executions actually die;
+			// keep the sweep to the crash-bearing levels plus pure
+			// message loss (false run-failure detections still rematch
+			// mid-execution there).
+			if lvl.name != "drops" {
+				continue
+			}
+		}
+		for _, pol := range ckptPolicies() {
+			wcfg := o.base()
+			wcfg.Jobs = wcfg.Jobs / 5
+			wcfg.NodePop = workload.Mixed
+			wcfg.JobPop = workload.Mixed
+			wcfg.Level = workload.Lightly
+			o.logf("ckptsweep level=%s policy=%s", lvl.name, pol.name)
+			res := Build(Scenario{
+				Alg:         AlgRNTree,
+				Workload:    wcfg,
+				Grid:        pol.cfg,
+				NetSeed:     o.Seed + 90,
+				Maintenance: true,
+				Faults:      lvl.plan,
+				FaultSeed:   o.Seed + 91,
+			}).Run()
+			tbl.Rows = append(tbl.Rows, []string{
+				lvl.name, pol.name,
+				fmt.Sprintf("%d/%d", res.Delivered, res.Jobs),
+				fmt.Sprint(res.Checkpoints), fmt.Sprint(res.Resumes),
+				fmtF(res.ResumedWork.Seconds()),
+				fmtF(res.WastedWork.Seconds()),
+				fmtF(res.ReexecutedWork.Seconds()),
+				fmtF(res.Turnaround.Mean),
+			})
+		}
+	}
+	return tbl
+}

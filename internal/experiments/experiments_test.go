@@ -211,3 +211,64 @@ func TestFaultInjectionRecoveryDeterministic(t *testing.T) {
 		t.Fatalf("fault-injected run not replayable:\n%+v\nvs\n%+v", a, b)
 	}
 }
+
+func TestCheckpointingReducesWaste(t *testing.T) {
+	// Same crash-bearing schedule as the deterministic fault test; the
+	// only variable is the checkpoint policy. Adaptive checkpointing
+	// must cut re-executed work relative to restart-from-scratch, and
+	// the checkpointed run must stay exactly as replayable.
+	wcfg := workload.NewConfig().Scale(0.03)
+	wcfg.Jobs = wcfg.Jobs / 5
+	wcfg.NodePop = workload.Mixed
+	wcfg.JobPop = workload.Mixed
+	wcfg.Level = workload.Lightly
+	plan := &faultinject.Plan{
+		Rules: []faultinject.Rule{
+			{Method: grid.MHeartbeat, DropProb: 0.25},
+			{Method: grid.MComplete, DropProb: 0.15, DupProb: 0.15},
+			{Method: grid.MResult, DropProb: 0.15},
+		},
+		Crashes:         3,
+		RestartProb:     0.5,
+		RestartDelayMin: 20 * time.Second,
+		RestartDelayMax: time.Minute,
+	}
+	run := func(gcfg grid.Config) Results {
+		return Build(Scenario{
+			Alg: AlgRNTree, Workload: wcfg, Grid: gcfg, NetSeed: 11,
+			Maintenance: true, Faults: plan, FaultSeed: 12,
+		}).Run()
+	}
+	off := run(grid.Config{})
+	adaptive := run(grid.Config{
+		CheckpointEvery:    10 * time.Second,
+		CheckpointAdaptive: true,
+		CheckpointMinEvery: 2 * time.Second,
+		CheckpointMaxEvery: 30 * time.Second,
+	})
+	if off.Checkpoints != 0 || off.Resumes != 0 {
+		t.Fatalf("baseline took checkpoints: %+v", off)
+	}
+	if adaptive.Checkpoints == 0 {
+		t.Fatal("adaptive policy never checkpointed")
+	}
+	if adaptive.Delivered < off.Delivered {
+		t.Fatalf("checkpointing lost deliveries: %d vs %d", adaptive.Delivered, off.Delivered)
+	}
+	if off.ExecutedWork <= off.UsefulWork {
+		t.Fatalf("crash schedule produced no waste to recover: %+v", off)
+	}
+	if adaptive.ReexecutedWork >= off.ReexecutedWork {
+		t.Fatalf("adaptive checkpointing did not cut re-executed work: %v vs %v",
+			adaptive.ReexecutedWork, off.ReexecutedWork)
+	}
+	// Checkpointed runs replay bit-for-bit too.
+	if again := run(grid.Config{
+		CheckpointEvery:    10 * time.Second,
+		CheckpointAdaptive: true,
+		CheckpointMinEvery: 2 * time.Second,
+		CheckpointMaxEvery: 30 * time.Second,
+	}); again != adaptive {
+		t.Fatalf("checkpointed run not replayable:\n%+v\nvs\n%+v", again, adaptive)
+	}
+}

@@ -60,8 +60,12 @@ func faultLevels() []faultLevel {
 func FaultSweep(o Options) *Table {
 	tbl := &Table{
 		Title:  "Fault sweep: recovery under seeded fault injection (RN-Tree, maintenance on)",
-		Header: []string{"faults", "delivered", "dup-starts", "run-failures", "owner-failures", "adoptions", "resubmits", "gave-up", "injected", "avg-turnaround"},
-		Notes:  []string{"schedules are seeded: identical options reproduce identical rows"},
+		Header: []string{"faults", "delivered", "dup-starts", "run-failures", "owner-failures", "adoptions", "resubmits", "gave-up", "injected", "lost-work", "re-exec-work", "avg-turnaround"},
+		Notes: []string{
+			"schedules are seeded: identical options reproduce identical rows",
+			"lost-work: seconds of nominal work executed but absent from any delivered result (failures + duplicates)",
+			"re-exec-work: the share of lost-work spent on jobs that were eventually delivered (recovery re-runs)",
+		},
 	}
 	for _, lvl := range faultLevels() {
 		wcfg := o.base()
@@ -86,6 +90,8 @@ func FaultSweep(o Options) *Table {
 			fmt.Sprint(res.Adoptions), fmt.Sprint(res.Resubmits),
 			fmt.Sprint(res.GaveUp),
 			fmt.Sprint(res.Faulted),
+			fmtF(res.WastedWork.Seconds()),
+			fmtF(res.ReexecutedWork.Seconds()),
 			fmtF(res.Turnaround.Mean),
 		})
 	}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/grid"
+	"repro/internal/ids"
 	"repro/internal/metrics"
 	"repro/internal/simnet"
 	"repro/internal/transport"
@@ -39,6 +40,26 @@ type Results struct {
 	GaveUp        int
 	DupStarts     int   // surplus executions beyond one per job GUID
 	Faulted       int64 // messages touched by the fault injector
+
+	// Work accounting (nominal-work units). ExecutedWork is everything
+	// run nodes computed, counted at slice boundaries; UsefulWork is the
+	// nominal work of delivered jobs; WastedWork is the difference —
+	// work lost to failures, re-executed on recovery, or discarded as
+	// duplicate.
+	ExecutedWork time.Duration
+	UsefulWork   time.Duration
+	WastedWork   time.Duration
+
+	// ReexecutedWork is the share of WastedWork spent on jobs that were
+	// eventually delivered — the recovery re-run overhead checkpointing
+	// exists to cut. The remainder of WastedWork belongs to jobs never
+	// delivered (gave up / still pending) and to discarded duplicates.
+	ReexecutedWork time.Duration
+
+	// Checkpoint/resume counters (zero with checkpointing off).
+	Checkpoints int
+	Resumes     int
+	ResumedWork time.Duration // work salvaged by resuming from snapshots
 
 	SimEnd time.Duration // virtual time when the run stopped
 }
@@ -180,6 +201,30 @@ func (d *Deployment) results() Results {
 		}
 	}
 	res.DupStarts = res.Started - startedJobs
+	res.Checkpoints = col.Count(grid.EvCheckpointed)
+	res.Resumes = col.Count(grid.EvResumed)
+	res.ResumedWork = col.ResumedWork()
+	res.UsefulWork = col.UsefulWork()
+	for _, g := range d.Grids {
+		res.ExecutedWork += g.Executed
+	}
+	if res.WastedWork = res.ExecutedWork - res.UsefulWork; res.WastedWork < 0 {
+		res.WastedWork = 0
+	}
+	perJob := make(map[ids.ID]time.Duration)
+	for _, g := range d.Grids {
+		for id, w := range g.ExecutedByJob() {
+			perJob[id] += w
+		}
+	}
+	for _, tr := range col.Jobs() {
+		if !tr.Delivered {
+			continue
+		}
+		if extra := perJob[tr.JobID] - tr.Work; extra > 0 {
+			res.ReexecutedWork += extra
+		}
+	}
 	perNode := make([]float64, 0, len(d.Grids))
 	for _, g := range d.Grids {
 		perNode = append(perNode, float64(g.Completed))

@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"sort"
 	"time"
 
 	"repro/internal/ids"
@@ -105,15 +106,17 @@ func (n *Node) acceptResult(rt transport.Runtime, res Result) {
 	n.mu.Lock()
 	p, ok := n.pending[res.JobID]
 	fresh := ok && !p.got
+	var work time.Duration
 	if fresh {
 		p.got = true
 		p.resultAt = rt.Now()
+		work = p.work
 	}
 	n.mu.Unlock()
 	if fresh {
 		n.rec.Record(Event{
 			Kind: EvResultDelivered, JobID: res.JobID, Attempt: res.Attempt,
-			At: rt.Now(), Node: res.RunNode,
+			At: rt.Now(), Node: res.RunNode, Progress: work,
 		})
 	}
 }
@@ -144,6 +147,10 @@ func (n *Node) StartClientMonitor(resubmitAfter time.Duration) {
 				}
 			}
 			n.mu.Unlock()
+			// Deterministic order: map iteration would randomize which
+			// job's status RPCs hit the network first (same discipline as
+			// monitorTick's sorted scan of n.owned).
+			sort.Slice(checks, func(i, j int) bool { return checks[i].id.Less(checks[j].id) })
 			for _, c := range checks {
 				n.checkAndMaybeResubmit(rt, c.id, c.p)
 			}

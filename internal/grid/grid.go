@@ -58,6 +58,42 @@ type Config struct {
 	// both users submitting large numbers of jobs at once ... and from
 	// users with smaller resource requirements").
 	FairShare bool
+
+	// CheckpointEvery enables the checkpoint/resume subsystem: run
+	// nodes snapshot job progress at this interval and ship snapshots
+	// to the owner, so a recovered job resumes instead of restarting
+	// (default 0: off, the paper's restart-from-scratch recovery).
+	CheckpointEvery time.Duration
+	// CheckpointAdaptive adapts the interval to the observed failure
+	// rate (Young's rule, after Ni & Harwood's adaptive scheme for P2P
+	// volunteer grids): sqrt(2*CheckpointCost/rate), clamped to
+	// [CheckpointMinEvery, CheckpointMaxEvery]. With no recent failure
+	// observations the interval backs off to CheckpointMaxEvery.
+	CheckpointAdaptive bool
+	// CheckpointMinEvery / CheckpointMaxEvery clamp the adaptive
+	// interval (defaults 1 s and 60 s).
+	CheckpointMinEvery time.Duration
+	CheckpointMaxEvery time.Duration
+	// CheckpointCost is the assumed overhead of taking one checkpoint,
+	// the numerator of Young's rule (default 500 ms).
+	CheckpointCost time.Duration
+	// CheckpointFailWindow is the sliding window over which failure
+	// observations feed the adaptive rate (default 2 min).
+	CheckpointFailWindow time.Duration
+	// CheckpointPiggybackKB caps the checkpoint payload a single
+	// heartbeat may carry; snapshots whose state exceeds the remaining
+	// budget travel in a standalone grid.checkpoint RPC instead
+	// (default 4 KB).
+	CheckpointPiggybackKB int
+	// CheckpointStateKB, when set, makes the simulated resumable work
+	// attach that much synthetic state to every snapshot — a test and
+	// experiment knob for exercising the oversized-checkpoint path.
+	CheckpointStateKB int
+	// ProgressSlice is the execution-accounting quantum: run nodes
+	// advance jobs in slices of at most this much nominal work so
+	// executed-work accounting and drop-aborts have bounded lag, even
+	// with checkpointing off (default HeartbeatEvery).
+	ProgressSlice time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +117,24 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ResultRetries == 0 {
 		c.ResultRetries = 3
+	}
+	if c.CheckpointMinEvery == 0 {
+		c.CheckpointMinEvery = time.Second
+	}
+	if c.CheckpointMaxEvery == 0 {
+		c.CheckpointMaxEvery = time.Minute
+	}
+	if c.CheckpointCost == 0 {
+		c.CheckpointCost = 500 * time.Millisecond
+	}
+	if c.CheckpointFailWindow == 0 {
+		c.CheckpointFailWindow = 2 * time.Minute
+	}
+	if c.CheckpointPiggybackKB == 0 {
+		c.CheckpointPiggybackKB = 4
+	}
+	if c.ProgressSlice == 0 {
+		c.ProgressSlice = c.HeartbeatEvery
 	}
 	return c
 }
@@ -106,6 +160,23 @@ type Profile struct {
 func JobGUID(client transport.Addr, seq, attempt int) ids.ID {
 	return ids.HashString(fmt.Sprintf("%s/%d/%d", client, seq, attempt))
 }
+
+// Checkpoint is a snapshot of one job's partial progress, produced by
+// the run node's resumable work (workload.Resumable) and replicated at
+// the owner so recovery resumes instead of restarting. Done is the
+// nominal work completed; Data is the computation's serialized state
+// (empty for pure-duration simulated jobs).
+type Checkpoint struct {
+	JobID   ids.ID
+	Attempt int
+	Run     transport.Addr // run node that took the snapshot
+	Done    time.Duration
+	Data    []byte
+	At      time.Duration // virtual time of the snapshot
+}
+
+// Zero reports whether the checkpoint holds no progress.
+func (c Checkpoint) Zero() bool { return c.Done <= 0 }
 
 // Result is what the run node returns to the client.
 type Result struct {
@@ -162,13 +233,15 @@ const (
 	EvResubmitted
 	EvDropped
 	EvGaveUp
+	EvCheckpointed
+	EvResumed
 )
 
 var eventNames = [...]string{
 	"submitted", "injected", "owned", "matched", "match-failed",
 	"enqueued", "started", "completed", "result-delivered",
 	"run-failure-detected", "owner-failure-detected", "owner-adopted",
-	"resubmitted", "dropped", "gave-up",
+	"resubmitted", "dropped", "gave-up", "checkpointed", "resumed",
 }
 
 func (k EventKind) String() string {
@@ -187,6 +260,12 @@ type Event struct {
 	Node    transport.Addr
 	Hops    int
 	Match   MatchStats
+	// Progress carries event-specific work accounting: the snapshot's
+	// completed work for EvCheckpointed, the resume offset for
+	// EvStarted/EvResumed, the checkpointed work salvageable at the
+	// point of failure for EvRunFailureDetected, and the job's nominal
+	// work for EvResultDelivered.
+	Progress time.Duration
 }
 
 // Recorder receives lifecycle events; experiment harnesses install one

@@ -40,17 +40,23 @@ type (
 	OwnReq struct{ Prof Profile }
 	// OwnResp acknowledges ownership.
 	OwnResp struct{}
-	// AssignReq enqueues a job at a run node.
+	// AssignReq enqueues a job at a run node. Ckpt, when non-zero,
+	// carries the owner's latest checkpoint so the run node resumes
+	// from saved progress instead of restarting.
 	AssignReq struct {
 		Prof  Profile
 		Owner transport.Addr
+		Ckpt  Checkpoint
 	}
 	// AssignResp acknowledges with the queue position.
 	AssignResp struct{ Position int }
-	// HeartbeatReq is the run node's periodic per-owner report.
+	// HeartbeatReq is the run node's periodic per-owner report. Ckpts
+	// piggybacks fresh job checkpoints whose state fits the configured
+	// payload cap; oversized snapshots travel via CheckpointReq.
 	HeartbeatReq struct {
-		Run  transport.Addr
-		Jobs []ids.ID
+		Run   transport.Addr
+		Jobs  []ids.ID
+		Ckpts []Checkpoint
 	}
 	// HeartbeatResp lists jobs the run node should drop (reassigned or
 	// unknown to this owner).
@@ -72,12 +78,23 @@ type (
 	// RelayResp acknowledges the relay request.
 	RelayResp struct{}
 	// AdoptReq asks a node to become the new owner of an orphaned job.
+	// Ckpt carries the run node's newest snapshot so the adopting
+	// owner is immediately recovery-capable.
 	AdoptReq struct {
 		Prof Profile
 		Run  transport.Addr
+		Ckpt Checkpoint
 	}
 	// AdoptResp acknowledges adoption.
 	AdoptResp struct{}
+	// CheckpointReq ships one snapshot too large for heartbeat
+	// piggybacking to the job's owner.
+	CheckpointReq struct {
+		Run  transport.Addr
+		Ckpt Checkpoint
+	}
+	// CheckpointResp acknowledges checkpoint receipt.
+	CheckpointResp struct{}
 	// StatusReq asks an owner about a job.
 	StatusReq struct{ JobID ids.ID }
 	// StatusResp reports whether the owner tracks the job.
@@ -99,6 +116,7 @@ const (
 	MRelay     = "grid.relay"
 	MAdopt     = "grid.adopt"
 	MStatus    = "grid.status"
+	MCkpt      = "grid.checkpoint"
 )
 
 // ownedJob is the owner-side record of a job.
@@ -109,8 +127,25 @@ type ownedJob struct {
 	excluded   []transport.Addr
 	lastHB     time.Duration
 	matching   bool
-	relay      *Result // result awaiting relay to the client
-	relayTries int     // failed relay attempts so far
+	relay      *Result    // result awaiting relay to the client
+	relayTries int        // failed relay attempts so far
+	ckpt       Checkpoint // latest checkpoint received from a run node
+}
+
+// absorbCkpt keeps ck if it is fresh progress for this job from a run
+// node the owner has not disavowed. It reports whether ck was kept.
+func (j *ownedJob) absorbCkpt(ck Checkpoint) bool {
+	if ck.Zero() || ck.Attempt != j.prof.Attempt || ck.Done <= j.ckpt.Done {
+		return false
+	}
+	if j.isExcluded(ck.Run) {
+		return false
+	}
+	if j.matched && j.run != ck.Run {
+		return false
+	}
+	j.ckpt = ck
+	return true
 }
 
 func (j *ownedJob) isExcluded(a transport.Addr) bool {
@@ -126,6 +161,12 @@ func (j *ownedJob) isExcluded(a transport.Addr) bool {
 type queuedJob struct {
 	prof  Profile
 	owner transport.Addr
+	// ckpt is the newest local checkpoint: seeded by a resumed
+	// assignment, refreshed by the executor at every snapshot.
+	ckpt Checkpoint
+	// shippedDone is the progress mark of the last checkpoint the
+	// owner acknowledged; snapshots beyond it are pending shipment.
+	shippedDone time.Duration
 }
 
 // Node is one grid peer: simultaneously a potential injection node,
@@ -150,8 +191,15 @@ type Node struct {
 	clientSeq int
 	pending   map[ids.ID]*pendingJob
 
+	// failObs holds recent failure-signal instants (owner declared
+	// dead, resumed assignment received) feeding the adaptive
+	// checkpoint interval.
+	failObs []time.Duration
+
 	// Stats, readable after a run.
-	Completed int64 // jobs this node finished as run node
+	Completed  int64         // jobs this node finished as run node
+	Executed   time.Duration // nominal work executed (completed slices)
+	executedBy map[ids.ID]time.Duration
 }
 
 type pendingJob struct {
@@ -180,9 +228,10 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 		overlay: overlay,
 		matcher: matcher,
 		rec:     rec,
-		owned:   make(map[ids.ID]*ownedJob),
-		done:    make(map[ids.ID]bool),
-		pending: make(map[ids.ID]*pendingJob),
+		owned:      make(map[ids.ID]*ownedJob),
+		done:       make(map[ids.ID]bool),
+		pending:    make(map[ids.ID]*pendingJob),
+		executedBy: make(map[ids.ID]time.Duration),
 	}
 	host.Handle(MInject, n.handleInject)
 	host.Handle(MOwn, n.handleOwn)
@@ -193,6 +242,7 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 	host.Handle(MRelay, n.handleRelay)
 	host.Handle(MAdopt, n.handleAdopt)
 	host.Handle(MStatus, n.handleStatus)
+	host.Handle(MCkpt, n.handleCheckpoint)
 	return n
 }
 
@@ -244,6 +294,7 @@ func (n *Node) Restart() {
 	n.queue = nil
 	n.running = nil
 	n.done = make(map[ids.ID]bool)
+	n.failObs = nil
 	n.started = false
 	n.mu.Unlock()
 	n.Start()
@@ -337,6 +388,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 		}
 		prof := job.prof
 		excluded := append([]transport.Addr(nil), job.excluded...)
+		ckpt := job.ckpt
 		n.mu.Unlock()
 
 		run, stats, err := n.matcher.FindRunNode(rt, prof.Cons, excluded)
@@ -345,11 +397,12 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 			rt.Sleep(n.cfg.MatchRetryEvery)
 			continue
 		}
+		req := AssignReq{Prof: prof, Owner: n.host.Addr(), Ckpt: ckpt}
 		var assignErr error
 		if run == n.host.Addr() {
-			_, assignErr = n.assign(rt, AssignReq{Prof: prof, Owner: n.host.Addr()})
+			_, assignErr = n.assign(rt, req)
 		} else {
-			_, assignErr = rt.Call(run, MAssign, AssignReq{Prof: prof, Owner: n.host.Addr()})
+			_, assignErr = rt.Call(run, MAssign, req)
 		}
 		if assignErr != nil {
 			n.mu.Lock()
@@ -393,10 +446,12 @@ func (n *Node) ownerMonitorLoop(rt transport.Runtime) {
 }
 
 // deadRun is one job whose run node was declared dead, with the
-// profile captured under the same lock that scanned it.
+// profile (and salvageable checkpoint progress) captured under the
+// same lock that scanned it.
 type deadRun struct {
-	id   ids.ID
-	prof Profile
+	id    ids.ID
+	prof  Profile
+	saved time.Duration
 }
 
 // monitorTick performs one owner-monitor pass. The profile of every
@@ -427,12 +482,15 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			job.excluded = append(job.excluded, job.run)
 			job.matched = false
 			job.matching = true
-			rematch = append(rematch, deadRun{id: id, prof: job.prof})
+			rematch = append(rematch, deadRun{id: id, prof: job.prof, saved: job.ckpt.Done})
 		}
 	}
 	n.mu.Unlock()
 	for _, d := range rematch {
-		n.record(EvRunFailureDetected, d.prof, now)
+		n.rec.Record(Event{
+			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
+			At: now, Node: n.host.Addr(), Progress: d.saved,
+		})
 		id := d.id
 		n.host.Go("grid.rematch", func(rt transport.Runtime) {
 			n.matchAndAssign(rt, id)
@@ -510,17 +568,36 @@ func (n *Node) handleRelay(rt transport.Runtime, from transport.Addr, req any) (
 func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	a := req.(AdoptReq)
 	n.mu.Lock()
-	if _, dup := n.owned[a.Prof.ID]; !dup {
-		n.owned[a.Prof.ID] = &ownedJob{
+	if job, dup := n.owned[a.Prof.ID]; dup {
+		// Already owned (a duplicated adopt, or the run node re-routed
+		// to an owner that already tracks the job): keep the existing
+		// record, but absorb any fresher checkpoint the run node sent.
+		job.absorbCkpt(a.Ckpt)
+	} else {
+		job := &ownedJob{
 			prof:    a.Prof,
 			run:     a.Run,
 			matched: true,
 			lastHB:  rt.Now(),
 		}
+		job.absorbCkpt(a.Ckpt)
+		n.owned[a.Prof.ID] = job
 	}
 	n.mu.Unlock()
 	n.record(EvOwnerAdopted, a.Prof, rt.Now())
 	return AdoptResp{}, nil
+}
+
+// handleCheckpoint accepts a standalone checkpoint shipment (snapshots
+// too large for heartbeat piggybacking).
+func (n *Node) handleCheckpoint(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	c := req.(CheckpointReq)
+	n.mu.Lock()
+	if job, ok := n.owned[c.Ckpt.JobID]; ok {
+		job.absorbCkpt(c.Ckpt)
+	}
+	n.mu.Unlock()
+	return CheckpointResp{}, nil
 }
 
 func (n *Node) handleStatus(rt transport.Runtime, from transport.Addr, req any) (any, error) {
@@ -551,6 +628,14 @@ func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req an
 			continue
 		}
 		job.lastHB = now
+	}
+	// Piggybacked checkpoints: absorbCkpt re-validates the sender per
+	// job, so a heartbeat answered with drops can still carry valid
+	// progress for the jobs this owner does track from this run node.
+	for _, ck := range hb.Ckpts {
+		if job, ok := n.owned[ck.JobID]; ok {
+			job.absorbCkpt(ck)
+		}
 	}
 	n.mu.Unlock()
 	return HeartbeatResp{Drop: drop}, nil

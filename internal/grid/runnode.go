@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/transport"
+	"repro/internal/workload"
 )
 
 // --- run-node role ---
@@ -16,10 +17,17 @@ func (n *Node) assign(rt transport.Runtime, req AssignReq) (AssignResp, error) {
 	if !req.Prof.Cons.SatisfiedBy(n.caps, n.os) {
 		return AssignResp{}, fmt.Errorf("%w: %s on %s", ErrConstraints, req.Prof.Cons, n.host.Addr())
 	}
+	// An assignment carrying saved progress means a previous run node
+	// died mid-job — a failure observation for the adaptive interval.
+	if !req.Ckpt.Zero() {
+		n.noteFailureSignal(rt.Now())
+	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	// Idempotence: re-assignment of a job we already hold just updates
-	// the owner (the owner may have changed after adoption).
+	// the owner (the owner may have changed after adoption). Local
+	// progress is at least as fresh as the owner's copy, so the
+	// attached checkpoint is ignored.
 	if n.running != nil && n.running.prof.ID == req.Prof.ID {
 		n.running.owner = req.Owner
 		return AssignResp{Position: 0}, nil
@@ -31,7 +39,14 @@ func (n *Node) assign(rt transport.Runtime, req AssignReq) (AssignResp, error) {
 		}
 	}
 	delete(n.done, req.Prof.ID)
-	n.queue = append(n.queue, &queuedJob{prof: req.Prof, owner: req.Owner})
+	q := &queuedJob{prof: req.Prof, owner: req.Owner}
+	if !req.Ckpt.Zero() && req.Ckpt.Attempt == req.Prof.Attempt {
+		// Resume seed: the owner already holds this snapshot, so it is
+		// born shipped.
+		q.ckpt = req.Ckpt
+		q.shippedDone = req.Ckpt.Done
+	}
+	n.queue = append(n.queue, q)
 	pos := len(n.queue)
 	if n.running != nil {
 		pos++
@@ -96,7 +111,10 @@ func (n *Node) execTime(prof Profile) time.Duration {
 func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started time.Duration) {
 	outKB := job.prof.OutputKB
 	execErr := ""
+	aborted := false
 	if n.cfg.Executor != nil {
+		// Live executors are one-shot computations; the checkpoint
+		// subsystem covers the simulated (resumable) execution path.
 		kb, err := n.cfg.Executor(job.prof)
 		if err != nil {
 			execErr = err.Error()
@@ -104,12 +122,12 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 			outKB = kb
 		}
 	} else {
-		rt.Sleep(n.execTime(job.prof))
+		aborted = n.executeSliced(rt, job)
 	}
 	finished := rt.Now()
 
 	n.mu.Lock()
-	dropped := n.done[job.prof.ID]
+	dropped := n.done[job.prof.ID] || aborted
 	n.running = nil
 	n.done[job.prof.ID] = true
 	owner := job.owner
@@ -140,6 +158,70 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 			_, _ = rt.Call(owner, MComplete, CompleteReq{JobID: res.JobID, Run: n.host.Addr()})
 		}
 	}
+}
+
+// executeSliced performs the job's resumable work in bounded slices:
+// it resumes from any checkpoint attached to the assignment, snapshots
+// progress at the (possibly adaptive) checkpoint interval, counts
+// executed work for waste accounting, and aborts between slices when
+// the owner has disavowed the job. It reports whether the execution
+// was aborted.
+func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
+	total := job.prof.Work
+	sw := workload.NewSliceWork(total)
+	if n.cfg.CheckpointStateKB > 0 {
+		sw.SetState(make([]byte, n.cfg.CheckpointStateKB*1024))
+	}
+	n.mu.Lock()
+	seed := job.ckpt
+	n.mu.Unlock()
+	if !seed.Zero() && seed.Attempt == job.prof.Attempt {
+		if err := sw.ResumeFrom(workload.Snapshot{Done: seed.Done, Data: seed.Data}); err == nil {
+			n.rec.Record(Event{
+				Kind: EvResumed, JobID: job.prof.ID, Attempt: job.prof.Attempt,
+				At: rt.Now(), Node: n.host.Addr(), Progress: seed.Done,
+			})
+		}
+	}
+	// Execution seconds per nominal work second (SpeedScaling support:
+	// snapshots stay in portable nominal-work units).
+	scale := 1.0
+	if total > 0 {
+		scale = float64(n.execTime(job.prof)) / float64(total)
+	}
+	nextCkpt := rt.Now() + n.ckptInterval(rt.Now())
+	for !sw.Finished() {
+		quantum := n.cfg.ProgressSlice
+		if rem := sw.Remaining(); quantum > rem {
+			quantum = rem
+		}
+		rt.Sleep(time.Duration(float64(quantum) * scale))
+		sw.Advance(quantum)
+		n.mu.Lock()
+		n.Executed += quantum
+		n.executedBy[job.prof.ID] += quantum
+		dropped := n.done[job.prof.ID]
+		n.mu.Unlock()
+		if dropped {
+			return true
+		}
+		if n.ckptEnabled() && !sw.Finished() && rt.Now() >= nextCkpt {
+			snap := sw.Progress()
+			ck := Checkpoint{
+				JobID: job.prof.ID, Attempt: job.prof.Attempt, Run: n.host.Addr(),
+				Done: snap.Done, Data: snap.Data, At: rt.Now(),
+			}
+			n.mu.Lock()
+			job.ckpt = ck
+			n.mu.Unlock()
+			n.rec.Record(Event{
+				Kind: EvCheckpointed, JobID: job.prof.ID, Attempt: job.prof.Attempt,
+				At: rt.Now(), Node: n.host.Addr(), Progress: snap.Done,
+			})
+			nextCkpt = rt.Now() + n.ckptInterval(rt.Now())
+		}
+	}
+	return false
 }
 
 // deliverResult returns the result to the client directly, falling back
@@ -191,6 +273,25 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 		}
 		n.mu.Unlock()
 
+		// Fresh checkpoints ride the same round: each owner's heartbeat
+		// piggybacks snapshots up to the payload cap; oversized ones go
+		// in standalone grid.checkpoint calls after the heartbeat.
+		pending := n.collectPendingCkpts(jobs)
+		piggy := make(map[transport.Addr][]pendingCkpt)
+		oversize := make(map[transport.Addr][]pendingCkpt)
+		for _, p := range pending {
+			budget := n.cfg.CheckpointPiggybackKB * 1024
+			used := 0
+			for _, prev := range piggy[p.owner] {
+				used += len(prev.ckpt.Data)
+			}
+			if len(p.ckpt.Data) <= budget-used {
+				piggy[p.owner] = append(piggy[p.owner], p)
+			} else {
+				oversize[p.owner] = append(oversize[p.owner], p)
+			}
+		}
+
 		owners := make([]transport.Addr, 0, len(byOwner))
 		for o := range byOwner {
 			owners = append(owners, o)
@@ -199,18 +300,23 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 
 		for _, owner := range owners {
 			jobIDs := byOwner[owner]
+			req := HeartbeatReq{Run: n.host.Addr(), Jobs: jobIDs}
+			for _, p := range piggy[owner] {
+				req.Ckpts = append(req.Ckpts, p.ckpt)
+			}
 			var resp any
 			var err error
 			if owner == n.host.Addr() {
-				resp, err = n.handleHeartbeat(rt, n.host.Addr(), HeartbeatReq{Run: n.host.Addr(), Jobs: jobIDs})
+				resp, err = n.handleHeartbeat(rt, n.host.Addr(), req)
 			} else {
-				resp, err = rt.Call(owner, MHeartbeat, HeartbeatReq{Run: n.host.Addr(), Jobs: jobIDs})
+				resp, err = rt.Call(owner, MHeartbeat, req)
 			}
 			if err != nil {
 				if _, ok := ownerSilentSince[owner]; !ok {
 					ownerSilentSince[owner] = now
 				} else if now-ownerSilentSince[owner] > n.cfg.OwnerDeadAfter {
 					delete(ownerSilentSince, owner)
+					n.noteFailureSignal(now)
 					for _, id := range jobIDs {
 						n.record(EvOwnerFailureDetected, profs[id], now)
 						n.reassignOwner(rt, profs[id], owner)
@@ -219,6 +325,20 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 				continue
 			}
 			delete(ownerSilentSince, owner)
+			for _, p := range piggy[owner] {
+				n.markShipped(p)
+			}
+			for _, p := range oversize[owner] {
+				var err error
+				if owner == n.host.Addr() {
+					_, err = n.handleCheckpoint(rt, n.host.Addr(), CheckpointReq{Run: n.host.Addr(), Ckpt: p.ckpt})
+				} else {
+					_, err = rt.Call(owner, MCkpt, CheckpointReq{Run: n.host.Addr(), Ckpt: p.ckpt})
+				}
+				if err == nil {
+					n.markShipped(p)
+				}
+			}
 			hb := resp.(HeartbeatResp)
 			if len(hb.Drop) > 0 {
 				n.dropJobs(hb.Drop)
@@ -234,17 +354,22 @@ func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner trans
 	if err != nil || newOwner == deadOwner {
 		return // retry on a later heartbeat round
 	}
+	// The adoption request carries our newest snapshot so the new owner
+	// starts with the dead owner's replicated progress, not zero.
+	ckpt := n.localCkpt(prof.ID)
 	if newOwner == n.host.Addr() {
 		n.mu.Lock()
-		_, dup := n.owned[prof.ID]
+		job, dup := n.owned[prof.ID]
 		if !dup {
-			n.owned[prof.ID] = &ownedJob{prof: prof, run: n.host.Addr(), matched: true, lastHB: rt.Now()}
+			job = &ownedJob{prof: prof, run: n.host.Addr(), matched: true, lastHB: rt.Now()}
+			n.owned[prof.ID] = job
 		}
+		job.absorbCkpt(ckpt)
 		n.mu.Unlock()
 		if !dup {
 			n.record(EvOwnerAdopted, prof, rt.Now())
 		}
-	} else if _, err := rt.Call(newOwner, MAdopt, AdoptReq{Prof: prof, Run: n.host.Addr()}); err != nil {
+	} else if _, err := rt.Call(newOwner, MAdopt, AdoptReq{Prof: prof, Run: n.host.Addr(), Ckpt: ckpt}); err != nil {
 		return
 	}
 	n.mu.Lock()
@@ -254,9 +379,29 @@ func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner trans
 	for _, q := range n.queue {
 		if q.prof.ID == prof.ID {
 			q.owner = newOwner
+			// The new owner holds whatever the adoption carried.
+			if !ckpt.Zero() && ckpt.Done > q.shippedDone {
+				q.shippedDone = ckpt.Done
+			}
 		}
 	}
 	n.mu.Unlock()
+}
+
+// localCkpt returns this node's newest snapshot for a held job, or a
+// zero checkpoint when the job is unknown or has no saved progress.
+func (n *Node) localCkpt(id ids.ID) Checkpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.running != nil && n.running.prof.ID == id {
+		return n.running.ckpt
+	}
+	for _, q := range n.queue {
+		if q.prof.ID == id {
+			return q.ckpt
+		}
+	}
+	return Checkpoint{}
 }
 
 // dropJobs removes queued jobs the owner disavowed; a currently-running

@@ -60,12 +60,8 @@ func soakPlan() faultinject.Plan {
 	}
 }
 
-// runSoak executes one seeded schedule and returns the full event
-// trace (for replay comparison). It fails the test, tagged with the
-// seed, if any job is lost or delivered more than once.
-func runSoak(t *testing.T, seed int64) []string {
-	t.Helper()
-	cfg := grid.Config{
+func soakCfg() grid.Config {
+	return grid.Config{
 		HeartbeatEvery:  time.Second,
 		RunDeadAfter:    3 * time.Second,
 		OwnerDeadAfter:  3 * time.Second,
@@ -73,6 +69,28 @@ func runSoak(t *testing.T, seed int64) []string {
 		MaxRematch:      8,
 		IdlePoll:        time.Second,
 	}
+}
+
+// soakCkptCfg is the soak configuration with adaptive checkpointing on,
+// intervals tightened to the soak's few-second jobs.
+func soakCkptCfg() grid.Config {
+	cfg := soakCfg()
+	cfg.CheckpointEvery = 2 * time.Second
+	cfg.CheckpointAdaptive = true
+	cfg.CheckpointMinEvery = time.Second
+	cfg.CheckpointMaxEvery = 5 * time.Second
+	return cfg
+}
+
+// runSoak executes one seeded schedule and returns the full event
+// trace (for replay comparison). It fails the test, tagged with the
+// seed, if any job is lost or delivered more than once.
+func runSoak(t *testing.T, seed int64) []string {
+	return runSoakCfg(t, seed, soakCfg())
+}
+
+func runSoakCfg(t *testing.T, seed int64, cfg grid.Config) []string {
+	t.Helper()
 	c := newCluster(t, soakNodes, seed, cfg, uniform)
 	defer c.e.Shutdown()
 	c.nodes[soakClient].StartClientMonitor(15 * time.Second)
@@ -129,7 +147,7 @@ func runSoak(t *testing.T, seed int64) []string {
 
 	trace := make([]string, len(c.rec.evs))
 	for i, ev := range c.rec.evs {
-		trace[i] = fmt.Sprintf("%v %s a%d %s @%v", ev.Kind, ev.JobID.Short(), ev.Attempt, ev.Node, ev.At)
+		trace[i] = fmt.Sprintf("%v %s a%d %s @%v +%v", ev.Kind, ev.JobID.Short(), ev.Attempt, ev.Node, ev.At, ev.Progress)
 	}
 	return trace
 }
@@ -144,21 +162,50 @@ func TestRecoverySoak(t *testing.T) {
 	}
 }
 
+// TestRecoverySoakCheckpointed re-runs the soak with adaptive
+// checkpointing enabled: snapshots, piggybacked shipping, and resume
+// paths must preserve the exactly-once guarantee under every fault
+// schedule, not just speed recovery up.
+func TestRecoverySoakCheckpointed(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		runSoakCfg(t, seed, soakCkptCfg())
+	}
+}
+
 // TestRecoverySoakReplayDeterministic re-runs a handful of schedules
 // and requires the event trace to be byte-identical: the whole point
 // of seeding the fault layer is that any failure it surfaces can be
 // replayed exactly.
 func TestRecoverySoakReplayDeterministic(t *testing.T) {
 	for seed := int64(1); seed <= 3; seed++ {
-		a := runSoak(t, seed)
-		b := runSoak(t, seed)
-		if len(a) != len(b) {
-			t.Fatalf("seed %d: replay produced %d events, first run %d", seed, len(b), len(a))
-		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("seed %d: traces diverge at event %d:\n  first:  %s\n  replay: %s", seed, i, a[i], b[i])
-			}
+		assertReplayIdentical(t, seed, soakCfg())
+	}
+}
+
+// TestRecoverySoakCheckpointedReplayDeterministic extends the replay
+// guarantee to the checkpoint subsystem: snapshot instants, shipping,
+// and resume offsets must be bit-identical across replays (the trace
+// lines include each event's Progress field).
+func TestRecoverySoakCheckpointedReplayDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		assertReplayIdentical(t, seed, soakCkptCfg())
+	}
+}
+
+func assertReplayIdentical(t *testing.T, seed int64, cfg grid.Config) {
+	t.Helper()
+	a := runSoakCfg(t, seed, cfg)
+	b := runSoakCfg(t, seed, cfg)
+	if len(a) != len(b) {
+		t.Fatalf("seed %d: replay produced %d events, first run %d", seed, len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seed %d: traces diverge at event %d:\n  first:  %s\n  replay: %s", seed, i, a[i], b[i])
 		}
 	}
 }

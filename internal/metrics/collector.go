@@ -25,6 +25,11 @@ type JobTrace struct {
 	RouteHops  int
 	Match      grid.MatchStats
 	MatchTries int
+	// Checkpoint/resume accounting.
+	Checkpoints int           // snapshots taken across all attempts
+	Resumes     int           // executions that resumed from a snapshot
+	ResumedWork time.Duration // work skipped thanks to resumption, summed
+	Work        time.Duration // the job's nominal work, known once delivered
 }
 
 // Wait returns the paper's job wait time: submission to start of
@@ -91,7 +96,13 @@ func (c *Collector) Record(ev grid.Event) {
 		if !t.Delivered {
 			t.ResultAt = ev.At
 			t.Delivered = true
+			t.Work = ev.Progress
 		}
+	case grid.EvCheckpointed:
+		t.Checkpoints++
+	case grid.EvResumed:
+		t.Resumes++
+		t.ResumedWork += ev.Progress
 	}
 }
 
@@ -150,6 +161,28 @@ func (c *Collector) MatchCosts() []float64 {
 		out = append(out, float64(cost))
 	}
 	return out
+}
+
+// UsefulWork sums the nominal work of every delivered job — the
+// denominator of waste accounting.
+func (c *Collector) UsefulWork() time.Duration {
+	var sum time.Duration
+	for _, t := range c.Jobs() {
+		if t.Delivered {
+			sum += t.Work
+		}
+	}
+	return sum
+}
+
+// ResumedWork sums the work salvaged by checkpoint resumption across
+// all jobs.
+func (c *Collector) ResumedWork() time.Duration {
+	var sum time.Duration
+	for _, t := range c.Jobs() {
+		sum += t.ResumedWork
+	}
+	return sum
 }
 
 // MatchVisits returns per-job matchmaking node-visit counts.

@@ -180,6 +180,37 @@ func TestCollectorFirstStartWins(t *testing.T) {
 	}
 }
 
+func TestCollectorCheckpointAccounting(t *testing.T) {
+	c := NewCollector()
+	id := ids.HashString("ckpt")
+	work := 30 * time.Second
+	evts := []grid.Event{
+		{Kind: grid.EvSubmitted, JobID: id, At: 0},
+		{Kind: grid.EvStarted, JobID: id, At: time.Second},
+		{Kind: grid.EvCheckpointed, JobID: id, At: 6 * time.Second, Progress: 5 * time.Second},
+		{Kind: grid.EvCheckpointed, JobID: id, At: 11 * time.Second, Progress: 10 * time.Second},
+		{Kind: grid.EvRunFailureDetected, JobID: id, At: 14 * time.Second, Progress: 10 * time.Second},
+		{Kind: grid.EvResumed, JobID: id, At: 15 * time.Second, Progress: 10 * time.Second},
+		{Kind: grid.EvResultDelivered, JobID: id, At: 40 * time.Second, Progress: work},
+	}
+	for _, ev := range evts {
+		c.Record(ev)
+	}
+	tr := c.Jobs()[0]
+	if tr.Checkpoints != 2 || tr.Resumes != 1 {
+		t.Fatalf("checkpoints=%d resumes=%d", tr.Checkpoints, tr.Resumes)
+	}
+	if tr.ResumedWork != 10*time.Second || tr.Work != work {
+		t.Fatalf("resumedWork=%v work=%v", tr.ResumedWork, tr.Work)
+	}
+	if c.Count(grid.EvCheckpointed) != 2 || c.Count(grid.EvResumed) != 1 {
+		t.Fatal("event counts")
+	}
+	if c.UsefulWork() != work || c.ResumedWork() != 10*time.Second {
+		t.Fatalf("useful=%v resumed=%v", c.UsefulWork(), c.ResumedWork())
+	}
+}
+
 func TestCollectorIncompleteJobsExcluded(t *testing.T) {
 	c := NewCollector()
 	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: ids.HashString("never"), At: 0})

@@ -49,6 +49,7 @@ func Messages() []any {
 		grid.CompleteReq{}, grid.CompleteResp{}, grid.ResultReq{}, grid.ResultResp{},
 		grid.RelayReq{}, grid.RelayResp{}, grid.AdoptReq{}, grid.AdoptResp{},
 		grid.StatusReq{}, grid.StatusResp{},
+		grid.CheckpointReq{}, grid.CheckpointResp{},
 		// match
 		match.ProbeReq{}, match.ProbeResp{},
 	}

@@ -55,6 +55,31 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 			Work:   100,
 		}},
 		grid.HeartbeatReq{Run: "r:1", Jobs: []ids.ID{ids.HashString("a"), ids.HashString("b")}},
+		grid.HeartbeatReq{
+			Run:  "r:1",
+			Jobs: []ids.ID{ids.HashString("a")},
+			Ckpts: []grid.Checkpoint{{
+				JobID: ids.HashString("a"), Attempt: 1, Run: "r:1",
+				Done: 3e9, Data: []byte{1, 2, 3}, At: 9e9,
+			}},
+		},
+		grid.AssignReq{
+			Prof:  grid.Profile{ID: ids.HashString("job"), Client: "c:1", Work: 100},
+			Owner: "o:1",
+			Ckpt:  grid.Checkpoint{JobID: ids.HashString("job"), Run: "r:3", Done: 42e9},
+		},
+		grid.AdoptReq{
+			Prof: grid.Profile{ID: ids.HashString("job"), Attempt: 2},
+			Run:  "r:4",
+			Ckpt: grid.Checkpoint{JobID: ids.HashString("job"), Attempt: 2, Run: "r:4", Done: 5e9},
+		},
+		grid.CheckpointReq{
+			Run: "r:5",
+			Ckpt: grid.Checkpoint{
+				JobID: ids.HashString("big"), Run: "r:5",
+				Done: 7e9, Data: make([]byte, 8192), At: 11e9,
+			},
+		},
 		grid.ResultReq{Res: grid.Result{JobID: ids.HashString("j"), RunNode: "r:2", OutputKB: 3}},
 	}
 	for _, msg := range cases {

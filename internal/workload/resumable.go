@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resumable is a unit of work that can snapshot its completed progress
+// and later be reconstructed from such a snapshot on another node. It
+// is the contract between run nodes and checkpointable computations:
+// the grid layer periodically calls Progress, ships the snapshot to the
+// job's owner, and a replacement run node calls ResumeFrom instead of
+// restarting from scratch.
+type Resumable interface {
+	// Progress returns a snapshot of all work completed so far.
+	Progress() Snapshot
+	// ResumeFrom restores the computation to a snapshot's state.
+	ResumeFrom(Snapshot) error
+}
+
+// Snapshot is an opaque, transferable record of partial progress. Done
+// is the amount of nominal work the snapshot represents; Data carries
+// whatever serialized state the computation needs to continue (empty
+// for pure-duration simulated jobs).
+type Snapshot struct {
+	Done time.Duration
+	Data []byte
+}
+
+// SliceWork is the reference Resumable: a computation of a fixed total
+// nominal duration that advances in slices. Simulated jobs are pure
+// durations, so its snapshot is just the completed prefix plus an
+// optional application-state payload; live executors can embed real
+// state via SetState.
+type SliceWork struct {
+	total time.Duration
+	done  time.Duration
+	state []byte
+}
+
+// NewSliceWork returns resumable work of the given total duration.
+func NewSliceWork(total time.Duration) *SliceWork {
+	if total < 0 {
+		total = 0
+	}
+	return &SliceWork{total: total}
+}
+
+// Total returns the nominal duration of the whole computation.
+func (s *SliceWork) Total() time.Duration { return s.total }
+
+// Done returns how much nominal work has completed.
+func (s *SliceWork) Done() time.Duration { return s.done }
+
+// Remaining returns the nominal work still to do.
+func (s *SliceWork) Remaining() time.Duration { return s.total - s.done }
+
+// Finished reports whether all work has completed.
+func (s *SliceWork) Finished() bool { return s.done >= s.total }
+
+// Advance performs up to d more nominal work and returns how much was
+// actually performed (less than d only at the end of the computation).
+func (s *SliceWork) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		d = 0
+	}
+	if rem := s.Remaining(); d > rem {
+		d = rem
+	}
+	s.done += d
+	return d
+}
+
+// SetState attaches application state to subsequent snapshots. The
+// slice is retained; callers hand over ownership.
+func (s *SliceWork) SetState(data []byte) { s.state = data }
+
+// State returns the application state restored by ResumeFrom (or set
+// by SetState).
+func (s *SliceWork) State() []byte { return s.state }
+
+// Progress implements Resumable.
+func (s *SliceWork) Progress() Snapshot {
+	return Snapshot{Done: s.done, Data: s.state}
+}
+
+// ResumeFrom implements Resumable. A snapshot claiming more work than
+// the computation holds is rejected rather than silently truncated —
+// it indicates a checkpoint from a different job or attempt.
+func (s *SliceWork) ResumeFrom(snap Snapshot) error {
+	if snap.Done < 0 || snap.Done > s.total {
+		return fmt.Errorf("workload: snapshot done %v outside [0, %v]", snap.Done, s.total)
+	}
+	s.done = snap.Done
+	s.state = snap.Data
+	return nil
+}
+
+var _ Resumable = (*SliceWork)(nil)

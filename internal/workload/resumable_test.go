@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+func TestSliceWorkAdvance(t *testing.T) {
+	s := NewSliceWork(10 * time.Second)
+	if s.Finished() || s.Done() != 0 || s.Remaining() != 10*time.Second {
+		t.Fatalf("fresh work: done=%v rem=%v", s.Done(), s.Remaining())
+	}
+	if got := s.Advance(4 * time.Second); got != 4*time.Second {
+		t.Fatalf("advance = %v", got)
+	}
+	// Over-advance clamps to the remaining work.
+	if got := s.Advance(time.Minute); got != 6*time.Second {
+		t.Fatalf("final advance = %v", got)
+	}
+	if !s.Finished() || s.Remaining() != 0 {
+		t.Fatalf("not finished: done=%v", s.Done())
+	}
+	if got := s.Advance(time.Second); got != 0 {
+		t.Fatalf("advance past end = %v", got)
+	}
+	if got := s.Advance(-time.Second); got != 0 {
+		t.Fatal("negative advance performed work")
+	}
+}
+
+func TestSliceWorkSnapshotRoundTrip(t *testing.T) {
+	s := NewSliceWork(20 * time.Second)
+	s.Advance(7 * time.Second)
+	s.SetState([]byte("phase-1"))
+	snap := s.Progress()
+	if snap.Done != 7*time.Second || string(snap.Data) != "phase-1" {
+		t.Fatalf("snapshot: %+v", snap)
+	}
+
+	// A fresh instance on another node resumes mid-computation.
+	r := NewSliceWork(20 * time.Second)
+	if err := r.ResumeFrom(snap); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if r.Done() != 7*time.Second || !bytes.Equal(r.State(), []byte("phase-1")) {
+		t.Fatalf("resumed: done=%v state=%q", r.Done(), r.State())
+	}
+	r.Advance(13 * time.Second)
+	if !r.Finished() {
+		t.Fatal("resumed work did not finish")
+	}
+}
+
+func TestSliceWorkResumeRejectsForeignSnapshot(t *testing.T) {
+	s := NewSliceWork(5 * time.Second)
+	if err := s.ResumeFrom(Snapshot{Done: 6 * time.Second}); err == nil {
+		t.Fatal("oversized snapshot accepted")
+	}
+	if err := s.ResumeFrom(Snapshot{Done: -time.Second}); err == nil {
+		t.Fatal("negative snapshot accepted")
+	}
+	if s.Done() != 0 {
+		t.Fatal("rejected snapshot mutated progress")
+	}
+}
+
+func TestSliceWorkNegativeTotal(t *testing.T) {
+	s := NewSliceWork(-time.Second)
+	if !s.Finished() || s.Total() != 0 {
+		t.Fatalf("negative total: %+v", s)
+	}
+}
