@@ -4,6 +4,11 @@
 // the run node.
 //
 //	gridctl -node 127.0.0.1:7001 -work 5s -mincpu 2 -n 3
+//
+// The trust subcommand dumps a node's local reputation table (scores
+// are per-owner observations; there is no gossip):
+//
+//	gridctl trust -node 127.0.0.1:7001
 package main
 
 import (
@@ -22,6 +27,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "trust" {
+		trustCmd(os.Args[2:])
+		return
+	}
 	node := flag.String("node", "127.0.0.1:7001", "injection node address")
 	work := flag.Duration("work", 5*time.Second, "job runtime")
 	n := flag.Int("n", 1, "number of jobs")
@@ -108,6 +117,47 @@ func main() {
 		got := len(results)
 		mu.Unlock()
 		fmt.Fprintf(os.Stderr, "gridctl: timeout with %d/%d results\n", got, want)
+		os.Exit(1)
+	}
+}
+
+// trustCmd asks one node for its reputation table and prints it.
+func trustCmd(args []string) {
+	fs := flag.NewFlagSet("trust", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:7001", "node whose reputation table to dump")
+	_ = fs.Parse(args)
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	done := make(chan error, 1)
+	host.Go("trust", func(rt transport.Runtime) {
+		raw, err := rt.CallT(transport.Addr(*node), grid.MTrust, grid.TrustReq{}, 10*time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		entries := raw.(grid.TrustResp).Entries
+		if len(entries) == 0 {
+			fmt.Printf("node %s tracks no peers (trust disabled or no votes yet)\n", *node)
+			done <- nil
+			return
+		}
+		fmt.Printf("%-24s %-7s %-7s %-10s %-9s %-10s %s\n",
+			"node", "score", "agreed", "disagreed", "probes-ok", "probes-bad", "blacklisted")
+		for _, e := range entries {
+			fmt.Printf("%-24s %-7.3f %-7d %-10d %-9d %-10d %v\n",
+				e.Node, e.Score, e.Agreed, e.Disagreed, e.ProbesOK, e.ProbesBad, e.Blacklisted)
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: trust: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -26,6 +26,7 @@ import (
 	"repro/internal/rntree"
 	"repro/internal/sandbox"
 	"repro/internal/transport"
+	"repro/internal/trust"
 	"repro/internal/wire"
 )
 
@@ -36,6 +37,9 @@ func main() {
 	mem := flag.Float64("mem", 4096, "advertised memory (MB)")
 	disk := flag.Float64("disk", 100, "advertised disk (GB)")
 	osname := flag.String("os", "linux", "advertised operating system")
+	replicas := flag.Int("replicas", 1, "redundant executions per owned job (1 = no voting)")
+	quorum := flag.Int("quorum", 1, "matching result digests required to accept")
+	probeEvery := flag.Duration("probe-every", 0, "known-answer probe interval for blacklisted peers (0 = off)")
 	flag.Parse()
 
 	wire.RegisterAll()
@@ -53,7 +57,15 @@ func main() {
 	})
 	rn := rntree.New(host, ch, caps, *osname, rntree.Config{AggregateEvery: time.Second})
 	overlay := &match.ChordOverlay{Chord: ch, Walk: rn}
-	matcher := &match.RNTree{RN: rn}
+	var matcher grid.Matchmaker = &match.RNTree{RN: rn}
+	// Voting implies reputation: the owner scores replicas against each
+	// accepted digest, and matchmaking avoids blacklisted peers. The
+	// table is answerable over grid.trust (gridctl trust).
+	var tb *trust.Table
+	if *replicas > 1 || *quorum > 1 {
+		tb = trust.New(trust.Config{})
+		matcher = &match.Trusted{Inner: matcher, Table: tb}
+	}
 	logger := grid.RecorderFunc(func(ev grid.Event) {
 		fmt.Printf("%s job=%s attempt=%d node=%s\n", ev.Kind, ev.JobID.Short(), ev.Attempt, ev.Node)
 	})
@@ -89,6 +101,10 @@ func main() {
 	gn := grid.NewNode(host, caps, *osname, overlay, matcher, logger, grid.Config{
 		HeartbeatEvery: time.Second,
 		Executor:       executor,
+		Replicas:       *replicas,
+		Quorum:         *quorum,
+		Trust:          tb,
+		ProbeEvery:     *probeEvery,
 	})
 	rn.SetLoadFn(gn.QueueLen)
 

@@ -11,6 +11,7 @@
 // tab1 (matchmaking cost), tab2 (CAN pushing), tab3 (DHT behaviour),
 // tab4 (robustness/churn), tab5 (TTL misses), faultsweep (seeded
 // fault injection), ckptsweep (checkpoint/resume policies),
+// trustsweep (sabotage tolerance: replication/quorum/reputation),
 // ablate-virtualdim, ablate-k, ablate-fair, all.
 package main
 
@@ -27,7 +28,7 @@ import (
 var experimentOrder = []string{
 	"fig2a", "fig2b", "fig2c", "fig2d",
 	"tab1", "tab2", "tab3", "tab4", "tab5",
-	"faultsweep", "ckptsweep",
+	"faultsweep", "ckptsweep", "trustsweep",
 	"ablate-virtualdim", "ablate-k", "ablate-fair",
 }
 
@@ -112,6 +113,8 @@ func run(id string, o experiments.Options) (*experiments.Table, error) {
 		return experiments.FaultSweep(o), nil
 	case "ckptsweep":
 		return experiments.CkptSweep(o), nil
+	case "trustsweep":
+		return experiments.TrustSweep(o), nil
 	case "ablate-virtualdim":
 		return experiments.VirtualDimAblation(o), nil
 	case "ablate-k":

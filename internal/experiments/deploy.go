@@ -19,6 +19,7 @@ import (
 	"repro/internal/simhost"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/trust"
 	"repro/internal/workload"
 )
 
@@ -87,6 +88,18 @@ type Scenario struct {
 	Faults *faultinject.Plan
 	// FaultSeed seeds the fault schedule; defaults to NetSeed.
 	FaultSeed int64
+	// Trust, when set, equips every node with a fresh local reputation
+	// table under this configuration and wraps its matchmaker with
+	// match.Trusted (blacklist exclusion + suspect retry). Tables are
+	// strictly per-node; there is no score gossip.
+	Trust *trust.Config
+	// Sabotage, when set, turns a seeded fraction of non-client nodes
+	// Byzantine: as run nodes they corrupt result digests or withhold
+	// results per faultinject.ByzPlan. Zero-valued Protect is filled
+	// with the client nodes by Build.
+	Sabotage *faultinject.ByzPlan
+	// SabotageSeed seeds saboteur selection; defaults to NetSeed.
+	SabotageSeed int64
 	// NodeSpecs overrides the generated node population (the facade and
 	// examples use this to supply explicit per-node resources).
 	NodeSpecs []workload.NodeSpec
@@ -109,6 +122,7 @@ type Deployment struct {
 	CANs      []*can.Node
 	Registry  *match.Registry
 	Collector *metrics.Collector
+	Byz       *faultinject.Byz // saboteur selection; nil without Sabotage
 	ttls      []*match.TTL
 	clients   []int // grid node index serving each workload client
 }
@@ -138,6 +152,29 @@ func Build(s Scenario) *Deployment {
 	n := len(w.Nodes)
 	needChord := s.Alg == AlgRNTree || s.Alg == AlgCentral || s.Alg == AlgTTL || s.Alg == AlgRandom
 	needCAN := s.Alg == AlgCAN || s.Alg == AlgCANPush
+
+	// Map workload clients onto grid nodes, spread across the ID space.
+	// Computed before node wiring so saboteur selection can protect them.
+	clients := s.Workload.Clients
+	if clients <= 0 {
+		clients = 1
+	}
+	for c := 0; c < clients; c++ {
+		d.clients = append(d.clients, (c*n)/clients)
+	}
+
+	// Saboteur selection: deterministic in the seed, never a client.
+	if s.Sabotage != nil {
+		plan := *s.Sabotage
+		if plan.Protect == nil {
+			plan.Protect = append([]int(nil), d.clients...)
+		}
+		seed := s.SabotageSeed
+		if seed == 0 {
+			seed = s.NetSeed
+		}
+		d.Byz = faultinject.GenerateByz(seed, n, plan)
+	}
 
 	for i := 0; i < n; i++ {
 		ep := net.NewEndpoint(simnet.Addr(fmt.Sprintf("n%04d", i)))
@@ -195,7 +232,16 @@ func Build(s Scenario) *Deployment {
 			matcher = &match.CAN{CN: cn, Push: s.Alg == AlgCANPush}
 		}
 
-		gn := grid.NewNode(h, spec.Caps, spec.OS, overlay, matcher, d.Collector, s.Grid)
+		gcfg := s.Grid
+		if s.Trust != nil {
+			tb := trust.New(*s.Trust)
+			gcfg.Trust = tb
+			matcher = &match.Trusted{Inner: matcher, Table: tb}
+		}
+		if d.Byz != nil {
+			gcfg.Byzantine = d.Byz.Behavior(i)
+		}
+		gn := grid.NewNode(h, spec.Caps, spec.OS, overlay, matcher, d.Collector, gcfg)
 		d.Grids = append(d.Grids, gn)
 		d.Registry.Register(h.Addr(), match.RegistryEntry{
 			Caps: spec.Caps,
@@ -248,14 +294,6 @@ func Build(s Scenario) *Deployment {
 		}
 	}
 
-	// Map workload clients onto grid nodes, spread across the ID space.
-	clients := s.Workload.Clients
-	if clients <= 0 {
-		clients = 1
-	}
-	for c := 0; c < clients; c++ {
-		d.clients = append(d.clients, (c*n)/clients)
-	}
 	return d
 }
 

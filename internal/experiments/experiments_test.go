@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/faultinject"
 	"repro/internal/grid"
+	"repro/internal/trust"
 	"repro/internal/workload"
 )
 
@@ -270,5 +271,70 @@ func TestCheckpointingReducesWaste(t *testing.T) {
 		CheckpointMaxEvery: 30 * time.Second,
 	}); again != adaptive {
 		t.Fatalf("checkpointed run not replayable:\n%+v\nvs\n%+v", again, adaptive)
+	}
+}
+
+func TestSabotageRunDeterministic(t *testing.T) {
+	// Redundant execution triples the load; shape the workload the way
+	// trustsweep does so the run drains within the deadline.
+	wcfg := workload.NewConfig().Scale(0.02)
+	wcfg.Jobs /= 5
+	wcfg.Level = workload.Lightly
+	run := func() Results {
+		return Build(Scenario{
+			Alg:      AlgRNTree,
+			Workload: wcfg,
+			Grid:     grid.Config{Replicas: 3, Quorum: 2},
+			Trust:    &trust.Config{},
+			Sabotage: &faultinject.ByzPlan{Fraction: 0.25, WrongProb: 0.7, WithholdProb: 0.1},
+			NetSeed:  11,
+		}).Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("sabotage run nondeterministic:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Saboteurs == 0 || a.Votes == 0 || a.Accepted == 0 {
+		t.Fatalf("sabotage machinery not exercised: %+v", a)
+	}
+}
+
+// TestVotingStopsSabotage is the headline claim: at R=3/quorum=2 with
+// trust enabled, the wrong-accept rate is zero under a quarter of the
+// population sabotaging, while the unprotected R=1 baseline on the
+// same seeds accepts wrong results.
+func TestVotingStopsSabotage(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.02)
+	wcfg.Jobs /= 5
+	wcfg.Level = workload.Lightly
+	byz := &faultinject.ByzPlan{Fraction: 0.25, WrongProb: 0.7, WithholdProb: 0.1}
+	run := func(cfg grid.Config, tc *trust.Config) Results {
+		return Build(Scenario{
+			Alg: AlgRNTree, Workload: wcfg, Grid: cfg,
+			Trust: tc, Sabotage: byz, NetSeed: 12,
+		}).Run()
+	}
+	base := run(grid.Config{}, nil)
+	if base.WrongAccepted == 0 {
+		t.Fatal("baseline accepted no wrong results; sabotage plan too weak to test voting")
+	}
+	voted := run(grid.Config{Replicas: 3, Quorum: 2}, &trust.Config{})
+	if voted.WrongAccepted != 0 {
+		t.Fatalf("voting accepted %d wrong results", voted.WrongAccepted)
+	}
+	if voted.Delivered < voted.Jobs*95/100 {
+		t.Fatalf("voting delivered only %d/%d", voted.Delivered, voted.Jobs)
+	}
+}
+
+// TestZeroConfigTraceUnchangedByVotingCode guards the R=1 default: with
+// voting off, runs must be indistinguishable from a build that never
+// heard of sabotage tolerance (no votes, no probes, no reputation).
+func TestZeroConfigTraceUnchangedByVotingCode(t *testing.T) {
+	wcfg := workload.NewConfig().Scale(0.02)
+	res := Build(Scenario{Alg: AlgRNTree, Workload: wcfg, NetSeed: 13}).Run()
+	if res.Votes != 0 || res.Accepted != 0 || res.Rejected != 0 ||
+		res.QuorumFailed != 0 || res.Blacklists != 0 || res.Probes != 0 || res.Saboteurs != 0 {
+		t.Fatalf("zero-config run shows voting activity: %+v", res)
 	}
 }

@@ -61,6 +61,16 @@ type Results struct {
 	Resumes     int
 	ResumedWork time.Duration // work salvaged by resuming from snapshots
 
+	// Sabotage-tolerance counters (zero without voting/saboteurs).
+	Saboteurs     int // nodes configured Byzantine
+	WrongAccepted int // delivered results whose digest != honest expectation
+	Votes         int // replica completion votes tallied
+	Accepted      int // quorums reached
+	Rejected      int // dissenting replicas rejected against a quorum
+	QuorumFailed  int // jobs abandoned with quorum unreachable
+	Blacklists    int // peers crossing into a blacklist
+	Probes        int // known-answer probes completed
+
 	SimEnd time.Duration // virtual time when the run stopped
 }
 
@@ -89,7 +99,7 @@ func (d *Deployment) Run() Results {
 				_, _ = node.Submit(rt, grid.JobSpec{Cons: job.Cons, Work: job.Work, InputKB: 4})
 			}
 		})
-		if s.Churn > 0 || s.Faults != nil {
+		if s.Churn > 0 || s.Faults != nil || s.Sabotage != nil {
 			node.StartClientMonitor(30 * time.Second)
 		}
 	}
@@ -201,6 +211,16 @@ func (d *Deployment) results() Results {
 		}
 	}
 	res.DupStarts = res.Started - startedJobs
+	if d.Byz != nil {
+		res.Saboteurs = len(d.Byz.Saboteurs())
+	}
+	res.WrongAccepted = col.WrongDeliveries()
+	res.Votes = col.Count(grid.EvVoted)
+	res.Accepted = col.Count(grid.EvAccepted)
+	res.Rejected = col.Count(grid.EvRejected)
+	res.QuorumFailed = col.Count(grid.EvQuorumFailed)
+	res.Blacklists = col.Count(grid.EvBlacklisted)
+	res.Probes = col.Count(grid.EvProbed)
 	res.Checkpoints = col.Count(grid.EvCheckpointed)
 	res.Resumes = col.Count(grid.EvResumed)
 	res.ResumedWork = col.ResumedWork()

@@ -16,10 +16,12 @@
 package faultinject
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"time"
 
+	"repro/internal/ids"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -228,6 +230,90 @@ func (s Schedule) Injector(now func() time.Duration) *Injector {
 	in.Now = now
 	in.Until = s.RuleWindow
 	return in
+}
+
+// --- Byzantine (sabotage) behaviors ---
+
+// ByzPlan parameterizes saboteur generation: which nodes lie, and how
+// often.
+type ByzPlan struct {
+	// Fraction of the (unprotected) population that sabotages.
+	Fraction float64
+	// WrongProb is the per-(job, attempt) chance a saboteur corrupts
+	// its result digest.
+	WrongProb float64
+	// WithholdProb is the per-(job, attempt) chance a saboteur
+	// completes a job but silently withholds the result.
+	WithholdProb float64
+	// Protect lists node indexes never made saboteurs (clients).
+	Protect []int
+}
+
+// Byz maps node indexes to sabotage behaviors for one seeded plan.
+type Byz struct {
+	seed int64
+	plan ByzPlan
+	bad  map[int]bool
+}
+
+// GenerateByz deterministically selects which of nodes sabotage. The
+// node-selection draws come from (seed, plan) only, so the same seed
+// always corrupts the same peers.
+func GenerateByz(seed int64, nodes int, p ByzPlan) *Byz {
+	rng := rand.New(rand.NewSource(seed))
+	protect := make(map[int]bool, len(p.Protect))
+	for _, i := range p.Protect {
+		protect[i] = true
+	}
+	var eligible []int
+	for i := 0; i < nodes; i++ {
+		if !protect[i] {
+			eligible = append(eligible, i)
+		}
+	}
+	count := int(float64(len(eligible))*p.Fraction + 0.5)
+	b := &Byz{seed: seed, plan: p, bad: make(map[int]bool)}
+	perm := rng.Perm(len(eligible))
+	for i := 0; i < count && i < len(eligible); i++ {
+		b.bad[eligible[perm[i]]] = true
+	}
+	return b
+}
+
+// Saboteur reports whether node index i sabotages.
+func (b *Byz) Saboteur(i int) bool { return b.bad[i] }
+
+// Saboteurs returns the saboteur indexes, sorted.
+func (b *Byz) Saboteurs() []int {
+	var out []int
+	for i := range b.bad {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// chance derives a deterministic pseudo-probability draw in [0, 1)
+// from a hash of the decision's full identity. Unlike an RNG stream,
+// the draw is independent of execution interleaving — the same
+// (node, job, attempt) decision comes out the same under any schedule,
+// which keeps seeded soaks replayable.
+func (b *Byz) chance(kind string, node int, jobID ids.ID, attempt int) float64 {
+	h := ids.HashString(fmt.Sprintf("byz/%d/%s/%d/%s/%d", b.seed, kind, node, jobID, attempt))
+	return float64(h.Uint64()>>11) / float64(1<<53)
+}
+
+// Behavior returns the grid-layer Byzantine hook for node index i, or
+// nil when the node is honest.
+func (b *Byz) Behavior(i int) func(jobID ids.ID, attempt int) (wrong, withhold bool) {
+	if !b.bad[i] {
+		return nil
+	}
+	return func(jobID ids.ID, attempt int) (wrong, withhold bool) {
+		wrong = b.chance("wrong", i, jobID, attempt) < b.plan.WrongProb
+		withhold = !wrong && b.chance("withhold", i, jobID, attempt) < b.plan.WithholdProb
+		return wrong, withhold
+	}
 }
 
 // Harness is what a deployment exposes for node events to act on.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ids"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -199,5 +200,63 @@ func TestArmFiresEventsAndDisarms(t *testing.T) {
 	e.RunFor(time.Minute)
 	if len(h.crashes) != 1 {
 		t.Fatalf("disarmed event still fired: %v", h.crashes)
+	}
+}
+
+func TestGenerateByzDeterministicAndProtected(t *testing.T) {
+	p := ByzPlan{Fraction: 0.3, WrongProb: 0.7, WithholdProb: 0.1, Protect: []int{9}}
+	a := GenerateByz(42, 10, p)
+	b := GenerateByz(42, 10, p)
+	got, want := fmt.Sprint(a.Saboteurs()), fmt.Sprint(b.Saboteurs())
+	if got != want {
+		t.Fatalf("same seed differs: %s vs %s", got, want)
+	}
+	// 9 eligible * 0.3 rounds to 3 saboteurs; the protected index never
+	// sabotages.
+	if len(a.Saboteurs()) != 3 {
+		t.Fatalf("saboteurs = %v, want 3 of them", a.Saboteurs())
+	}
+	if a.Saboteur(9) {
+		t.Fatal("protected node selected as saboteur")
+	}
+	if a.Behavior(9) != nil {
+		t.Fatal("protected node must have nil behavior")
+	}
+	c := GenerateByz(43, 10, p)
+	if fmt.Sprint(c.Saboteurs()) == got {
+		t.Logf("seeds 42 and 43 picked the same set (possible but unlikely): %s", got)
+	}
+}
+
+func TestByzBehaviorHashStable(t *testing.T) {
+	p := ByzPlan{Fraction: 1, WrongProb: 0.5, WithholdProb: 0.5}
+	b := GenerateByz(7, 4, p)
+	beh := b.Behavior(2)
+	if beh == nil {
+		t.Fatal("fraction 1 must make every node a saboteur")
+	}
+	job := ids.HashString("job-x")
+	w1, h1 := beh(job, 0)
+	w2, h2 := beh(job, 0)
+	if w1 != w2 || h1 != h2 {
+		t.Fatal("behavior draw must be pure in (job, attempt)")
+	}
+	if w1 && h1 {
+		t.Fatal("wrong and withhold are mutually exclusive")
+	}
+	// Different attempts should be able to draw differently; scan a few
+	// jobs to confirm both outcomes occur at these probabilities.
+	var wrongs, holds int
+	for i := 0; i < 200; i++ {
+		w, h := beh(ids.HashString(fmt.Sprintf("job-%d", i)), 0)
+		if w {
+			wrongs++
+		}
+		if h {
+			holds++
+		}
+	}
+	if wrongs < 60 || wrongs > 140 || holds < 10 {
+		t.Fatalf("draw distribution off: wrongs=%d holds=%d of 200", wrongs, holds)
 	}
 }

@@ -52,7 +52,13 @@ func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt in
 		submitAt: rt.Now(),
 	}
 	n.mu.Unlock()
-	n.rec.Record(Event{Kind: EvSubmitted, JobID: jobID, Attempt: attempt, At: rt.Now(), Node: n.host.Addr()})
+	// Seq and the expected digest give collectors a ground-truth channel:
+	// the digest an honest execution of this job must produce, compared
+	// against EvResultDelivered's digest to count accepted-wrong results.
+	n.rec.Record(Event{
+		Kind: EvSubmitted, JobID: jobID, Attempt: attempt, At: rt.Now(), Node: n.host.Addr(),
+		Seq: seq, Digest: ResultDigest(req.Client, seq, spec.OutputKB, ""),
+	})
 	resp, err := n.Inject(rt, req)
 	if err != nil {
 		return jobID, err
@@ -116,7 +122,7 @@ func (n *Node) acceptResult(rt transport.Runtime, res Result) {
 	if fresh {
 		n.rec.Record(Event{
 			Kind: EvResultDelivered, JobID: res.JobID, Attempt: res.Attempt,
-			At: rt.Now(), Node: res.RunNode, Progress: work,
+			At: rt.Now(), Node: res.RunNode, Progress: work, Digest: res.Digest,
 		})
 	}
 }

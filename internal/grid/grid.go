@@ -20,6 +20,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/resource"
 	"repro/internal/transport"
+	"repro/internal/trust"
 )
 
 // Config tunes the grid layer. The zero value selects the defaults.
@@ -94,6 +95,32 @@ type Config struct {
 	// executed-work accounting and drop-aborts have bounded lag, even
 	// with checkpointing off (default HeartbeatEvery).
 	ProgressSlice time.Duration
+
+	// Replicas is the sabotage-tolerance redundancy degree R: owners
+	// schedule every job on R independent run nodes and vote on the
+	// returned result digests (default 1: the paper's single-execution
+	// protocol, no voting). Raised to Quorum when set below it.
+	Replicas int
+	// Quorum is how many matching digests accept a result (default 1).
+	// With Replicas=1/Quorum=1 the voting path is disabled entirely and
+	// the wire protocol and event traces are unchanged.
+	Quorum int
+	// Trust, when set, is this node's local peer-reputation table:
+	// voting outcomes feed it, matchmaking skips its blacklisted peers,
+	// and probes spot-check them. Independent of Replicas/Quorum — but
+	// only voting outcomes and probes ever update it.
+	Trust *trust.Table
+	// ProbeEvery spaces known-answer probe jobs sent to the worst
+	// blacklisted peer in Trust (default 0: probing off).
+	ProbeEvery time.Duration
+	// ProbeWork is the simulated execution time of one probe job
+	// (default 100 ms).
+	ProbeWork time.Duration
+	// Byzantine, when set, makes THIS node a saboteur as a run node: for
+	// each (job, attempt) it may return a corrupted result digest
+	// (wrong) or silently withhold the result (withhold). Installed by
+	// the fault-injection layer; nil on honest nodes.
+	Byzantine func(jobID ids.ID, attempt int) (wrong, withhold bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -136,8 +163,25 @@ func (c Config) withDefaults() Config {
 	if c.ProgressSlice == 0 {
 		c.ProgressSlice = c.HeartbeatEvery
 	}
+	if c.Replicas == 0 {
+		c.Replicas = 1
+	}
+	if c.Quorum == 0 {
+		c.Quorum = 1
+	}
+	if c.Replicas < c.Quorum {
+		c.Replicas = c.Quorum
+	}
+	if c.ProbeWork == 0 {
+		c.ProbeWork = 100 * time.Millisecond
+	}
 	return c
 }
+
+// votingOn reports whether the redundant-execution/quorum-voting path
+// is active. With it off the owner state machine is byte-for-byte the
+// pre-voting protocol.
+func (c Config) votingOn() bool { return c.Replicas > 1 || c.Quorum > 1 }
 
 // Profile describes a job: the paper's "data and associated profile".
 type Profile struct {
@@ -189,6 +233,31 @@ type Result struct {
 	// Err reports an execution failure (the job ran but its computation
 	// returned an error); empty on success.
 	Err string
+	// Digest fingerprints the result's content for quorum voting; empty
+	// on the legacy single-execution path.
+	Digest string
+}
+
+// ResultDigest fingerprints a result's content. It deliberately covers
+// only what the computation determines — the submission identity and
+// the output — so honest replicas of the same job produce identical
+// digests regardless of which run node or attempt computed them.
+func ResultDigest(client transport.Addr, seq, outputKB int, execErr string) string {
+	return ids.HashString(fmt.Sprintf("result/%s/%d/%d/%s", client, seq, outputKB, execErr)).String()
+}
+
+// CorruptDigest is the wrong answer a Byzantine run node returns:
+// derived from the correct digest AND the saboteur's own address, so
+// independent (non-colluding) saboteurs corrupt differently and cannot
+// accidentally form a quorum of identical wrong answers.
+func CorruptDigest(correct string, node transport.Addr) string {
+	return ids.HashString(fmt.Sprintf("corrupt/%s/%s", correct, node)).String()
+}
+
+// ProbeDigest is the known answer to a spot-check probe job with the
+// given nonce; the prober computes it locally and compares.
+func ProbeDigest(nonce string) string {
+	return ids.HashString("probe/" + nonce).String()
 }
 
 // MatchStats quantifies one matchmaking operation, aggregated across
@@ -235,6 +304,15 @@ const (
 	EvGaveUp
 	EvCheckpointed
 	EvResumed
+	// Sabotage-tolerance events (appended — earlier kinds keep their
+	// values so pre-voting traces stay comparable).
+	EvVoted        // a replica's digest was tallied at the owner
+	EvAccepted     // quorum reached; Digest is the winning digest
+	EvRejected     // a replica dissented from the accepted digest
+	EvQuorumFailed // replica/rematch budget exhausted without quorum
+	EvReputation   // a peer's trust score changed; Delta is the change
+	EvBlacklisted  // the change crossed the peer into the blacklist
+	EvProbed       // a known-answer probe completed; Delta is the change
 )
 
 var eventNames = [...]string{
@@ -242,6 +320,8 @@ var eventNames = [...]string{
 	"enqueued", "started", "completed", "result-delivered",
 	"run-failure-detected", "owner-failure-detected", "owner-adopted",
 	"resubmitted", "dropped", "gave-up", "checkpointed", "resumed",
+	"voted", "accepted", "rejected", "quorum-failed", "reputation",
+	"blacklisted", "probed",
 }
 
 func (k EventKind) String() string {
@@ -266,6 +346,18 @@ type Event struct {
 	// point of failure for EvRunFailureDetected, and the job's nominal
 	// work for EvResultDelivered.
 	Progress time.Duration
+	// Digest carries the result fingerprint: the expected (correct)
+	// digest on EvSubmitted, the replica's digest on EvVoted, the
+	// winning digest on EvAccepted, and the delivered digest on
+	// EvResultDelivered — the ground-truth channel wrong-accept
+	// accounting compares.
+	Digest string
+	// Delta is the reputation change for EvReputation/EvBlacklisted/
+	// EvProbed.
+	Delta float64
+	// Seq is the client-local submission number on EvSubmitted, letting
+	// collectors recompute the expected digest independently.
+	Seq int
 }
 
 // Recorder receives lifecycle events; experiment harnesses install one

@@ -80,6 +80,12 @@ func (o *switchableOverlay) RouteJob(rt transport.Runtime, jobID ids.ID, cons re
 }
 
 func newCluster(t *testing.T, n int, seed int64, cfg grid.Config, caps func(i int) (resource.Vector, string)) *cluster {
+	return newClusterCfg(t, n, seed, func(int) grid.Config { return cfg }, caps)
+}
+
+// newClusterCfg builds a cluster with per-node grid configuration —
+// the Byzantine soak needs saboteur hooks on some nodes only.
+func newClusterCfg(t *testing.T, n int, seed int64, cfgFor func(i int) grid.Config, caps func(i int) (resource.Vector, string)) *cluster {
 	t.Helper()
 	e := sim.NewEngine(seed)
 	net := simnet.New(e)
@@ -90,7 +96,12 @@ func newCluster(t *testing.T, n int, seed int64, cfg grid.Config, caps func(i in
 		ep := net.NewEndpoint(simnet.Addr(fmt.Sprintf("n%03d", i)))
 		h := simhost.New(ep)
 		cv, os := caps(i)
-		gn := grid.NewNode(h, cv, os, overlay, &match.Central{Reg: c.reg}, c.rec, cfg)
+		cfg := cfgFor(i)
+		var matcher grid.Matchmaker = &match.Central{Reg: c.reg}
+		if cfg.Trust != nil {
+			matcher = &match.Trusted{Inner: matcher, Table: cfg.Trust}
+		}
+		gn := grid.NewNode(h, cv, os, overlay, matcher, c.rec, cfg)
 		c.hosts = append(c.hosts, h)
 		c.eps = append(c.eps, ep)
 		c.nodes = append(c.nodes, gn)

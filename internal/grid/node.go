@@ -10,6 +10,7 @@ import (
 	"repro/internal/ids"
 	"repro/internal/resource"
 	"repro/internal/transport"
+	"repro/internal/trust"
 )
 
 // Errors returned by the grid layer.
@@ -61,10 +62,16 @@ type (
 	// HeartbeatResp lists jobs the run node should drop (reassigned or
 	// unknown to this owner).
 	HeartbeatResp struct{ Drop []ids.ID }
-	// CompleteReq tells the owner a job finished.
+	// CompleteReq tells the owner a job finished. Under redundant
+	// execution it doubles as the replica's vote: Digest fingerprints
+	// the result content and Res carries the full result so the owner
+	// can deliver the quorum winner itself. Legacy (R=1) senders leave
+	// both zero.
 	CompleteReq struct {
-		JobID ids.ID
-		Run   transport.Addr
+		JobID  ids.ID
+		Run    transport.Addr
+		Digest string
+		Res    Result
 	}
 	// CompleteResp acknowledges completion.
 	CompleteResp struct{}
@@ -95,6 +102,20 @@ type (
 	}
 	// CheckpointResp acknowledges checkpoint receipt.
 	CheckpointResp struct{}
+	// ProbeJobReq is a known-answer spot-check: the prober asks a
+	// (typically blacklisted) peer to execute Work's worth of synthetic
+	// computation whose correct digest the prober already knows.
+	ProbeJobReq struct {
+		Nonce string
+		Work  time.Duration
+	}
+	// ProbeJobResp returns the probe's result digest.
+	ProbeJobResp struct{ Digest string }
+	// TrustReq asks a node for its local reputation table.
+	TrustReq struct{}
+	// TrustResp returns the table's entries (empty when the node keeps
+	// no table).
+	TrustResp struct{ Entries []trust.Entry }
 	// StatusReq asks an owner about a job.
 	StatusReq struct{ JobID ids.ID }
 	// StatusResp reports whether the owner tracks the job.
@@ -117,6 +138,8 @@ const (
 	MAdopt     = "grid.adopt"
 	MStatus    = "grid.status"
 	MCkpt      = "grid.checkpoint"
+	MProbe     = "grid.probe"
+	MTrust     = "grid.trust"
 )
 
 // ownedJob is the owner-side record of a job.
@@ -130,6 +153,9 @@ type ownedJob struct {
 	relay      *Result    // result awaiting relay to the client
 	relayTries int        // failed relay attempts so far
 	ckpt       Checkpoint // latest checkpoint received from a run node
+	// vote, when non-nil, switches this job to the redundant-execution
+	// state machine (see voting.go); run/matched/lastHB/ckpt are unused.
+	vote *voteState
 }
 
 // absorbCkpt keeps ck if it is fresh progress for this job from a run
@@ -196,6 +222,12 @@ type Node struct {
 	// checkpoint interval.
 	failObs []time.Duration
 
+	// nextProbe schedules the next known-answer spot-check (lazily
+	// initialized to now+ProbeEvery on the first monitor tick);
+	// probeSeq numbers probes for unique nonces.
+	nextProbe time.Duration
+	probeSeq  int
+
 	// Stats, readable after a run.
 	Completed  int64         // jobs this node finished as run node
 	Executed   time.Duration // nominal work executed (completed slices)
@@ -243,6 +275,8 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 	host.Handle(MAdopt, n.handleAdopt)
 	host.Handle(MStatus, n.handleStatus)
 	host.Handle(MCkpt, n.handleCheckpoint)
+	host.Handle(MProbe, n.handleProbe)
+	host.Handle(MTrust, n.handleTrust)
 	return n
 }
 
@@ -361,9 +395,20 @@ func (n *Node) ownJob(rt transport.Runtime, prof Profile) {
 		return
 	}
 	job := &ownedJob{prof: prof, lastHB: rt.Now(), matching: true}
+	if n.cfg.votingOn() {
+		job.matching = false
+		job.vote = newVoteState()
+		job.vote.filling = true
+	}
 	n.owned[prof.ID] = job
 	n.mu.Unlock()
 	n.record(EvOwned, prof, rt.Now())
+	if job.vote != nil {
+		n.host.Go("grid.match", func(rt transport.Runtime) {
+			n.fillReplicas(rt, prof.ID)
+		})
+		return
+	}
 	n.host.Go("grid.match", func(rt transport.Runtime) {
 		n.matchAndAssign(rt, prof.ID)
 	})
@@ -462,6 +507,8 @@ type deadRun struct {
 func (n *Node) monitorTick(rt transport.Runtime) {
 	now := rt.Now()
 	var rematch []deadRun
+	var deadReps []deadRun // dead replicas of voting jobs (no rematch spawn)
+	var fills []ids.ID
 	var relays []Result
 	n.mu.Lock()
 	jobIDs := make([]ids.ID, 0, len(n.owned))
@@ -475,6 +522,12 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			relays = append(relays, *job.relay)
 			continue
 		}
+		if job.vote != nil {
+			if fill := n.voteTickLocked(now, id, job, &deadReps); fill {
+				fills = append(fills, id)
+			}
+			continue
+		}
 		if !job.matched || job.matching {
 			continue
 		}
@@ -486,6 +539,12 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 		}
 	}
 	n.mu.Unlock()
+	for _, d := range deadReps {
+		n.rec.Record(Event{
+			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
+			At: now, Node: n.host.Addr(),
+		})
+	}
 	for _, d := range rematch {
 		n.rec.Record(Event{
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
@@ -496,9 +555,16 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			n.matchAndAssign(rt, id)
 		})
 	}
+	for _, id := range fills {
+		id := id
+		n.host.Go("grid.fill", func(rt transport.Runtime) {
+			n.fillReplicas(rt, id)
+		})
+	}
 	for _, res := range relays {
 		n.tryRelay(rt, res)
 	}
+	n.maybeProbe(rt, now)
 }
 
 // tryRelay forwards a result to the client on the run node's behalf.
@@ -544,6 +610,27 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 	c := req.(CompleteReq)
 	n.mu.Lock()
 	job, ok := n.owned[c.JobID]
+	if ok && job.vote != nil {
+		evs, fill := n.applyVoteLocked(rt.Now(), job, c)
+		n.mu.Unlock()
+		for _, ev := range evs {
+			n.rec.Record(ev)
+		}
+		if fill {
+			n.host.Go("grid.fill", func(rt transport.Runtime) {
+				n.fillReplicas(rt, c.JobID)
+			})
+		}
+		return CompleteResp{}, nil
+	}
+	// A complete from a run node this owner has disavowed (excluded
+	// after a heartbeat timeout, or displaced by a rematch) is a zombie:
+	// accepting it would forget the job while the replacement still runs
+	// it — the same rule heartbeats already apply.
+	if ok && (job.isExcluded(c.Run) || (job.matched && job.run != c.Run)) {
+		n.mu.Unlock()
+		return CompleteResp{}, nil
+	}
 	if ok && job.relay == nil {
 		delete(n.owned, c.JobID)
 	}
@@ -568,11 +655,28 @@ func (n *Node) handleRelay(rt transport.Runtime, from transport.Addr, req any) (
 func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	a := req.(AdoptReq)
 	n.mu.Lock()
+	fill := false
 	if job, dup := n.owned[a.Prof.ID]; dup {
-		// Already owned (a duplicated adopt, or the run node re-routed
-		// to an owner that already tracks the job): keep the existing
-		// record, but absorb any fresher checkpoint the run node sent.
-		job.absorbCkpt(a.Ckpt)
+		if job.vote != nil {
+			// The surviving run node re-registers as one replica of the
+			// restarted vote.
+			adoptReplicaLocked(job, a.Run, rt.Now())
+		} else {
+			// Already owned (a duplicated adopt, or the run node re-routed
+			// to an owner that already tracks the job): keep the existing
+			// record, but absorb any fresher checkpoint the run node sent.
+			job.absorbCkpt(a.Ckpt)
+		}
+	} else if n.cfg.votingOn() {
+		// Owner failover under redundant execution: the dead owner's
+		// vote state (partial tallies) is lost. The adopting owner
+		// restarts the vote seeded with this surviving replica; other
+		// survivors re-register through their own adopt calls, and the
+		// filler tops the set back up to R.
+		fill = true
+		job := n.newVotingJobLocked(a.Prof)
+		adoptReplicaLocked(job, a.Run, rt.Now())
+		n.owned[a.Prof.ID] = job
 	} else {
 		job := &ownedJob{
 			prof:    a.Prof,
@@ -585,6 +689,11 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 	}
 	n.mu.Unlock()
 	n.record(EvOwnerAdopted, a.Prof, rt.Now())
+	if fill {
+		n.host.Go("grid.fill", func(rt transport.Runtime) {
+			n.fillReplicas(rt, a.Prof.ID)
+		})
+	}
 	return AdoptResp{}, nil
 }
 
@@ -593,7 +702,7 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 func (n *Node) handleCheckpoint(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	c := req.(CheckpointReq)
 	n.mu.Lock()
-	if job, ok := n.owned[c.Ckpt.JobID]; ok {
+	if job, ok := n.owned[c.Ckpt.JobID]; ok && job.vote == nil {
 		job.absorbCkpt(c.Ckpt)
 	}
 	n.mu.Unlock()
@@ -608,6 +717,9 @@ func (n *Node) handleStatus(rt transport.Runtime, from transport.Addr, req any) 
 	if !ok {
 		return StatusResp{}, nil
 	}
+	if job.vote != nil {
+		return StatusResp{Known: true, Matched: len(job.vote.reps) > 0}, nil
+	}
 	return StatusResp{Known: true, Matched: job.matched, Run: job.run}, nil
 }
 
@@ -618,12 +730,28 @@ func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req an
 	n.mu.Lock()
 	for _, id := range hb.Jobs {
 		job, ok := n.owned[id]
+		if !ok {
+			drop = append(drop, id)
+			continue
+		}
+		if job.vote != nil {
+			// Redundant execution: refresh the sender's replica. A
+			// heartbeat from a non-replica, an excluded node, or for a
+			// job whose quorum already accepted a result tells the
+			// sender to stop — that drop is what cancels the losing
+			// replicas still running after acceptance.
+			if job.vote.winner == "" && !job.isExcluded(hb.Run) && job.vote.refresh(hb.Run, now) {
+				continue
+			}
+			drop = append(drop, id)
+			continue
+		}
 		// A sender in job.excluded is a run node this owner has already
 		// given up on: even while a rematch is in flight (job unmatched),
 		// its heartbeat must not refresh lastHB, and it must be told to
 		// drop the job — otherwise the job runs twice once the rematch
 		// lands.
-		if !ok || (job.matched && job.run != hb.Run) || job.isExcluded(hb.Run) {
+		if (job.matched && job.run != hb.Run) || job.isExcluded(hb.Run) {
 			drop = append(drop, id)
 			continue
 		}
@@ -632,8 +760,11 @@ func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req an
 	// Piggybacked checkpoints: absorbCkpt re-validates the sender per
 	// job, so a heartbeat answered with drops can still carry valid
 	// progress for the jobs this owner does track from this run node.
+	// Voting jobs ignore checkpoints: replicas restart from scratch
+	// (redundant execution and checkpoint-resume do not compose; see
+	// DESIGN.md §7).
 	for _, ck := range hb.Ckpts {
-		if job, ok := n.owned[ck.JobID]; ok {
+		if job, ok := n.owned[ck.JobID]; ok && job.vote == nil {
 			job.absorbCkpt(ck)
 		}
 	}

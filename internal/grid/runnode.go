@@ -126,6 +126,18 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 	}
 	finished := rt.Now()
 
+	// The result digest fingerprints what the computation determined; a
+	// Byzantine node corrupts it (distinctly per saboteur) or withholds
+	// the result entirely.
+	digest := ResultDigest(job.prof.Client, job.prof.Seq, outKB, execErr)
+	wrong, withhold := false, false
+	if n.cfg.Byzantine != nil {
+		wrong, withhold = n.cfg.Byzantine(job.prof.ID, job.prof.Attempt)
+	}
+	if wrong {
+		digest = CorruptDigest(digest, n.host.Addr())
+	}
+
 	n.mu.Lock()
 	dropped := n.done[job.prof.ID] || aborted
 	n.running = nil
@@ -134,6 +146,13 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 	n.mu.Unlock()
 	if dropped {
 		// The owner reassigned this job while we ran it; discard.
+		return
+	}
+	if withhold {
+		// Result withholding: the job ran to completion but the
+		// saboteur reports nothing and stops heartbeating it. To the
+		// owner this replica now looks crashed — the heartbeat timeout
+		// disavows it and recruits a replacement.
 		return
 	}
 	n.Completed++
@@ -146,6 +165,14 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 		Finished: finished,
 		OutputKB: outKB,
 		Err:      execErr,
+		Digest:   digest,
+	}
+	if n.cfg.votingOn() {
+		// Redundant execution: the replica does not deliver to the
+		// client; its completion IS its vote, and the owner delivers
+		// the quorum winner.
+		n.reportVote(rt, owner, res)
+		return
 	}
 	// Deliver the result first, then release the owner: completing
 	// before delivery would make the owner forget the job and lose the
@@ -157,6 +184,27 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 		} else {
 			_, _ = rt.Call(owner, MComplete, CompleteReq{JobID: res.JobID, Run: n.host.Addr()})
 		}
+	}
+}
+
+// reportVote sends a replica's completion vote (digest + full result)
+// to the owner, with bounded retries. If the owner stays unreachable
+// the vote is abandoned: the heartbeat loop's owner-failure path finds
+// the successor owner, and the client monitor resubmits if the whole
+// vote was lost.
+func (n *Node) reportVote(rt transport.Runtime, owner transport.Addr, res Result) {
+	req := CompleteReq{JobID: res.JobID, Run: n.host.Addr(), Digest: res.Digest, Res: res}
+	for try := 0; try < n.cfg.ResultRetries; try++ {
+		var err error
+		if owner == n.host.Addr() {
+			_, err = n.handleComplete(rt, n.host.Addr(), req)
+		} else {
+			_, err = rt.Call(owner, MComplete, req)
+		}
+		if err == nil {
+			return
+		}
+		rt.Sleep(time.Second)
 	}
 }
 

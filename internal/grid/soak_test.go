@@ -127,7 +127,6 @@ func runSoakCfg(t *testing.T, seed int64, cfg grid.Config) []string {
 	// resubmissions retire the old GUID before minting a new one, so
 	// each job lineage ends in exactly one delivery.
 	c.rec.mu.Lock()
-	defer c.rec.mu.Unlock()
 	delivered := map[ids.ID]int{}
 	total := 0
 	for _, ev := range c.rec.evs {
@@ -136,6 +135,7 @@ func runSoakCfg(t *testing.T, seed int64, cfg grid.Config) []string {
 			total++
 		}
 	}
+	c.rec.mu.Unlock()
 	for id, n := range delivered {
 		if n > 1 {
 			t.Fatalf("seed %d: job %s delivered %d times", seed, id.Short(), n)
@@ -145,9 +145,19 @@ func runSoakCfg(t *testing.T, seed int64, cfg grid.Config) []string {
 		t.Fatalf("seed %d: %d results delivered, want %d", seed, total, soakJobs)
 	}
 
-	trace := make([]string, len(c.rec.evs))
-	for i, ev := range c.rec.evs {
-		trace[i] = fmt.Sprintf("%v %s a%d %s @%v +%v", ev.Kind, ev.JobID.Short(), ev.Attempt, ev.Node, ev.At, ev.Progress)
+	return eventTrace(c.rec)
+}
+
+// eventTrace renders every recorded event as one line, including the
+// voting fields (digest, reputation delta, client seq) so the replay
+// checks cover sabotage-tolerance outcomes too.
+func eventTrace(rec *recorder) []string {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	trace := make([]string, len(rec.evs))
+	for i, ev := range rec.evs {
+		trace[i] = fmt.Sprintf("%v %s a%d %s @%v +%v d=%s r=%+.2f s%d",
+			ev.Kind, ev.JobID.Short(), ev.Attempt, ev.Node, ev.At, ev.Progress, ev.Digest, ev.Delta, ev.Seq)
 	}
 	return trace
 }

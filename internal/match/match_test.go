@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/chord"
+	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/match"
 	"repro/internal/resource"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/simhost"
 	"repro/internal/simnet"
 	"repro/internal/transport"
+	"repro/internal/trust"
 )
 
 // rig wires a Chord+RN-Tree overlay for matchmaker integration tests.
@@ -266,4 +268,67 @@ func chordNeighborAddrs(ch *chord.Node) []transport.Addr {
 		}
 	}
 	return out
+}
+
+// scriptedMatcher returns preset candidates in order, recording the
+// exclusions it saw.
+type scriptedMatcher struct {
+	picks    []transport.Addr
+	i        int
+	excludes [][]transport.Addr
+}
+
+func (s *scriptedMatcher) FindRunNode(rt transport.Runtime, cons resource.Constraints, exclude []transport.Addr) (transport.Addr, grid.MatchStats, error) {
+	s.excludes = append(s.excludes, append([]transport.Addr(nil), exclude...))
+	if s.i >= len(s.picks) {
+		return "", grid.MatchStats{}, fmt.Errorf("no candidate")
+	}
+	p := s.picks[s.i]
+	s.i++
+	return p, grid.MatchStats{Hops: 1}, nil
+}
+
+func TestTrustedExcludesBlacklisted(t *testing.T) {
+	tb := trust.New(trust.Config{})
+	for i := 0; i < 2; i++ {
+		tb.Disagree("bad") // 0.5 -> 0.2 -> 0: blacklisted
+	}
+	inner := &scriptedMatcher{picks: []transport.Addr{"good"}}
+	m := &match.Trusted{Inner: inner, Table: tb}
+	run, _, err := m.FindRunNode(nil, resource.Constraints{}, []transport.Addr{"held"})
+	if err != nil || run != "good" {
+		t.Fatalf("FindRunNode = (%v, %v)", run, err)
+	}
+	saw := inner.excludes[0]
+	if len(saw) != 2 || saw[0] != "held" || saw[1] != "bad" {
+		t.Fatalf("inner exclusions = %v, want [held bad]", saw)
+	}
+}
+
+func TestTrustedRetriesSuspectCandidate(t *testing.T) {
+	tb := trust.New(trust.Config{})
+	tb.Disagree("shady") // 0.2: below neutral, above blacklist
+	inner := &scriptedMatcher{picks: []transport.Addr{"shady", "clean"}}
+	m := &match.Trusted{Inner: inner, Table: tb}
+	run, stats, err := m.FindRunNode(nil, resource.Constraints{}, nil)
+	if err != nil || run != "clean" {
+		t.Fatalf("FindRunNode = (%v, %v), want clean", run, err)
+	}
+	if stats.Hops != 2 {
+		t.Fatalf("stats not combined across retry: %+v", stats)
+	}
+	if got := inner.excludes[1]; len(got) != 1 || got[0] != "shady" {
+		t.Fatalf("retry exclusions = %v, want [shady]", got)
+	}
+}
+
+func TestTrustedKeepsSuspectWhenNoBetter(t *testing.T) {
+	tb := trust.New(trust.Config{})
+	tb.Disagree("shady")
+	inner := &scriptedMatcher{picks: []transport.Addr{"shady"}} // retry fails
+	m := &match.Trusted{Inner: inner, Table: tb}
+	run, _, err := m.FindRunNode(nil, resource.Constraints{}, nil)
+	if err != nil || run != "shady" {
+		t.Fatalf("FindRunNode = (%v, %v), want the suspect as fallback", run, err)
+	}
 }

@@ -1,0 +1,46 @@
+package match
+
+import (
+	"repro/internal/grid"
+	"repro/internal/resource"
+	"repro/internal/transport"
+	"repro/internal/trust"
+)
+
+// Trusted wraps any grid.Matchmaker with the owner's local reputation
+// table: blacklisted peers are excluded outright, and a candidate whose
+// score has sunk below the neutral starting score triggers one retry in
+// the hope of a better-reputed alternative. It composes with every
+// algorithm in this package — reputation filters the candidate set, the
+// wrapped matchmaker still decides placement.
+type Trusted struct {
+	Inner grid.Matchmaker
+	Table *trust.Table
+}
+
+// FindRunNode implements grid.Matchmaker.
+func (m *Trusted) FindRunNode(rt transport.Runtime, cons resource.Constraints, exclude []transport.Addr) (transport.Addr, grid.MatchStats, error) {
+	if m.Table != nil {
+		exclude = append(append([]transport.Addr(nil), exclude...), m.Table.BlacklistedPeers()...)
+	}
+	run, stats, err := m.Inner.FindRunNode(rt, cons, exclude)
+	if err != nil || m.Table == nil {
+		return run, stats, err
+	}
+	score := m.Table.Score(run)
+	if score >= m.Table.InitialScore() {
+		return run, stats, nil
+	}
+	// Suspect (below neutral, not yet blacklisted): look once for a
+	// better-reputed alternative, keeping the suspect as fallback.
+	alt, altStats, altErr := m.Inner.FindRunNode(rt, cons, append(exclude, run))
+	stats.Hops += altStats.Hops
+	stats.Visits += altStats.Visits
+	stats.Pushes += altStats.Pushes
+	stats.Escalations += altStats.Escalations
+	stats.WalkHops += altStats.WalkHops
+	if altErr == nil && m.Table.Score(alt) > score {
+		return alt, stats, nil
+	}
+	return run, stats, nil
+}

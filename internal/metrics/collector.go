@@ -30,6 +30,18 @@ type JobTrace struct {
 	Resumes     int           // executions that resumed from a snapshot
 	ResumedWork time.Duration // work skipped thanks to resumption, summed
 	Work        time.Duration // the job's nominal work, known once delivered
+	// Sabotage-tolerance accounting: the digest an honest execution
+	// must produce (from EvSubmitted), the digest actually delivered
+	// (from EvResultDelivered), and the client-local submission number.
+	Seq    int
+	Expect string
+	Digest string
+}
+
+// WrongDelivered reports whether the client accepted a result whose
+// digest differs from the honest expectation — an accepted sabotage.
+func (t *JobTrace) WrongDelivered() bool {
+	return t.Delivered && t.Expect != "" && t.Digest != t.Expect
 }
 
 // Wait returns the paper's job wait time: submission to start of
@@ -79,6 +91,8 @@ func (c *Collector) Record(ev grid.Event) {
 	case grid.EvSubmitted:
 		t.SubmitAt = ev.At
 		t.Client = ev.Node
+		t.Seq = ev.Seq
+		t.Expect = ev.Digest
 	case grid.EvInjected:
 		t.RouteHops = ev.Hops
 	case grid.EvOwned:
@@ -97,6 +111,7 @@ func (c *Collector) Record(ev grid.Event) {
 			t.ResultAt = ev.At
 			t.Delivered = true
 			t.Work = ev.Progress
+			t.Digest = ev.Digest
 		}
 	case grid.EvCheckpointed:
 		t.Checkpoints++
@@ -183,6 +198,19 @@ func (c *Collector) ResumedWork() time.Duration {
 		sum += t.ResumedWork
 	}
 	return sum
+}
+
+// WrongDeliveries counts jobs whose delivered result digest differs
+// from the submission's honest expectation — the accepted-wrong-result
+// numerator of the sabotage-tolerance evaluation.
+func (c *Collector) WrongDeliveries() int {
+	n := 0
+	for _, t := range c.Jobs() {
+		if t.WrongDelivered() {
+			n++
+		}
+	}
+	return n
 }
 
 // MatchVisits returns per-job matchmaking node-visit counts.

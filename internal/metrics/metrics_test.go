@@ -218,3 +218,41 @@ func TestCollectorIncompleteJobsExcluded(t *testing.T) {
 		t.Fatal("unstarted job contributed stats")
 	}
 }
+
+func TestWrongDeliveries(t *testing.T) {
+	c := NewCollector()
+	good := ids.HashString("job-good")
+	bad := ids.HashString("job-bad")
+	open := ids.HashString("job-open")
+	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: good, Seq: 1, Digest: "dA"})
+	c.Record(grid.Event{Kind: grid.EvResultDelivered, JobID: good, Digest: "dA"})
+	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: bad, Seq: 2, Digest: "dB"})
+	c.Record(grid.Event{Kind: grid.EvResultDelivered, JobID: bad, Digest: "corrupt"})
+	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: open, Seq: 3, Digest: "dC"})
+	if got := c.WrongDeliveries(); got != 1 {
+		t.Fatalf("WrongDeliveries = %d, want 1", got)
+	}
+	for _, tr := range c.Jobs() {
+		switch tr.JobID {
+		case good:
+			if tr.WrongDelivered() || tr.Seq != 1 || tr.Expect != "dA" || tr.Digest != "dA" {
+				t.Fatalf("good trace wrong: %+v", tr)
+			}
+		case bad:
+			if !tr.WrongDelivered() {
+				t.Fatalf("bad trace not flagged: %+v", tr)
+			}
+		case open:
+			if tr.WrongDelivered() {
+				t.Fatal("undelivered job must not count as wrong")
+			}
+		}
+	}
+	// Legacy traces without digests never count as wrong.
+	legacy := ids.HashString("job-legacy")
+	c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: legacy})
+	c.Record(grid.Event{Kind: grid.EvResultDelivered, JobID: legacy})
+	if got := c.WrongDeliveries(); got != 1 {
+		t.Fatalf("legacy digestless trace flagged: WrongDeliveries = %d", got)
+	}
+}

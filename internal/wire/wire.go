@@ -50,6 +50,7 @@ func Messages() []any {
 		grid.RelayReq{}, grid.RelayResp{}, grid.AdoptReq{}, grid.AdoptResp{},
 		grid.StatusReq{}, grid.StatusResp{},
 		grid.CheckpointReq{}, grid.CheckpointResp{},
+		grid.ProbeJobReq{}, grid.ProbeJobResp{}, grid.TrustReq{}, grid.TrustResp{},
 		// match
 		match.ProbeReq{}, match.ProbeResp{},
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/rntree"
 	"repro/internal/transport"
+	"repro/internal/trust"
 )
 
 func TestAllMessagesRoundTripZeroValues(t *testing.T) {
@@ -81,6 +82,18 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 			},
 		},
 		grid.ResultReq{Res: grid.Result{JobID: ids.HashString("j"), RunNode: "r:2", OutputKB: 3}},
+		grid.CompleteReq{
+			JobID:  ids.HashString("j"),
+			Run:    "r:2",
+			Digest: grid.ResultDigest("c:1", 3, 7, ""),
+			Res:    grid.Result{JobID: ids.HashString("j"), RunNode: "r:2", OutputKB: 7, Digest: grid.ResultDigest("c:1", 3, 7, "")},
+		},
+		grid.ProbeJobReq{Nonce: "r:9/4", Work: 5e9},
+		grid.ProbeJobResp{Digest: grid.ProbeDigest("r:9/4")},
+		grid.TrustResp{Entries: []trust.Entry{
+			{Node: "r:1", Score: 0.85, Agreed: 7},
+			{Node: "r:2", Score: 0.1, Disagreed: 2, ProbesBad: 1, Blacklisted: true},
+		}},
 	}
 	for _, msg := range cases {
 		got, err := RoundTrip(msg)
