@@ -9,27 +9,45 @@
 // are per-owner observations; there is no gossip):
 //
 //	gridctl trust -node 127.0.0.1:7001
+//
+// The stats subcommand dumps a node's live counters and metric
+// snapshot; trace reconstructs one job's cross-node lifecycle from the
+// per-node trace buffers (DESIGN.md §8):
+//
+//	gridctl stats -node 127.0.0.1:7001
+//	gridctl trace -node 127.0.0.1:7001 <job-id>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/nettransport"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "trust" {
-		trustCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "trust":
+			trustCmd(os.Args[2:])
+			return
+		case "stats":
+			statsCmd(os.Args[2:])
+			return
+		case "trace":
+			traceCmd(os.Args[2:])
+			return
+		}
 	}
 	node := flag.String("node", "127.0.0.1:7001", "injection node address")
 	work := flag.Duration("work", 5*time.Second, "job runtime")
@@ -100,7 +118,9 @@ func main() {
 				return
 			}
 			resp := raw.(grid.InjectResp)
-			fmt.Printf("submitted job=%s owner=%s hops=%d\n", resp.JobID.Short(), resp.Owner, resp.Hops)
+			// Full GUID: it doubles as the job's trace ID for
+			// `gridctl trace`.
+			fmt.Printf("submitted job=%s owner=%s hops=%d\n", resp.JobID, resp.Owner, resp.Hops)
 		}
 		submitted <- nil
 	})
@@ -117,6 +137,124 @@ func main() {
 		got := len(results)
 		mu.Unlock()
 		fmt.Fprintf(os.Stderr, "gridctl: timeout with %d/%d results\n", got, want)
+		os.Exit(1)
+	}
+}
+
+// statsCmd asks one node for its live stats snapshot and prints it.
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:7001", "node whose stats to dump")
+	all := fs.Bool("all", false, "print every metric sample, not just the summary")
+	_ = fs.Parse(args)
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	done := make(chan error, 1)
+	host.Go("stats", func(rt transport.Runtime) {
+		raw, err := rt.CallT(transport.Addr(*node), grid.MStats, grid.StatsReq{}, 10*time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		s := raw.(grid.StatsResp).Stats
+		fmt.Printf("node %s (up %v)\n", s.Addr, s.Now.Round(time.Second))
+		fmt.Printf("  queue=%d owned=%d pending=%d completed=%d executed=%v\n",
+			s.QueueLen, s.Owned, s.Pending, s.Completed, s.Executed.Round(time.Second))
+		if *all {
+			for _, sm := range s.Samples {
+				fmt.Printf("  %-56s %g\n", sm.Name, sm.Value)
+			}
+		} else {
+			for _, sm := range s.Samples {
+				if strings.HasSuffix(sm.Name, "_total") || strings.Contains(sm.Name, "_total{") {
+					fmt.Printf("  %-56s %g\n", sm.Name, sm.Value)
+				}
+			}
+			fmt.Println("  (use -all for histograms and gauges)")
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: stats: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// traceCmd reconstructs one job's cross-node lifecycle: it pulls the
+// trace buffer from the starting node, follows every peer named in the
+// responses (bounded breadth-first walk), merges the events in causal
+// hop order, and prints the result.
+func traceCmd(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:7001", "node to start the trace walk at")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gridctl trace [-node addr] <job-id>")
+		os.Exit(2)
+	}
+	trace, err := ids.Parse(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: trace: bad job id: %v\n", err)
+		os.Exit(2)
+	}
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	done := make(chan error, 1)
+	host.Go("trace", func(rt transport.Runtime) {
+		const maxNodes = 64
+		var evs []obs.TraceEvent
+		seen := map[transport.Addr]bool{}
+		queue := []transport.Addr{transport.Addr(*node)}
+		asked := 0
+		for len(queue) > 0 && len(seen) < maxNodes {
+			cur := queue[0]
+			queue = queue[1:]
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			raw, err := rt.CallT(cur, grid.MTrace, grid.TraceReq{Trace: trace}, 10*time.Second)
+			if err != nil {
+				continue // dead or obs-less node; the rest may still answer
+			}
+			asked++
+			resp := raw.(grid.TraceResp)
+			evs = append(evs, resp.Events...)
+			queue = append(queue, resp.Peers...)
+		}
+		if asked == 0 {
+			done <- fmt.Errorf("no node answered (is -metrics-addr / obs enabled?)")
+			return
+		}
+		evs = obs.MergeSort(evs)
+		if len(evs) == 0 {
+			done <- fmt.Errorf("no events for job %s on %d nodes (trace evicted or id unknown)", trace, asked)
+			return
+		}
+		fmt.Printf("trace %s: %d events from %d nodes\n", trace, len(evs), asked)
+		fmt.Printf("%-4s %-12s %-22s %-18s a%-3s %-22s %s\n", "hop", "at", "stage", "node", "", "peer", "note")
+		for _, ev := range evs {
+			fmt.Printf("%-4d %-12v %-22s %-18s a%-3d %-22s %s\n",
+				ev.Hop, ev.At.Round(time.Millisecond), ev.Stage, ev.Node, ev.Attempt, ev.Peer, ev.Note)
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: trace: %v\n", err)
 		os.Exit(1)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/match"
 	"repro/internal/nettransport"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/rntree"
 	"repro/internal/sandbox"
@@ -40,6 +41,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "redundant executions per owned job (1 = no voting)")
 	quorum := flag.Int("quorum", 1, "matching result digests required to accept")
 	probeEvery := flag.Duration("probe-every", 0, "known-answer probe interval for blacklisted peers (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /events, /debug/pprof ('' = off)")
 	flag.Parse()
 
 	wire.RegisterAll()
@@ -51,11 +53,27 @@ func main() {
 	defer host.Close()
 	caps := resource.Vector{*cpu, *mem, *disk}
 
+	// One obs sink spans every layer of this process; nil disables all
+	// instrumentation (every instrument is nil-safe).
+	var o *obs.Obs
+	if *metricsAddr != "" {
+		o = obs.New()
+		host.SetObs(o)
+		srv, bound, err := obs.Serve(*metricsAddr, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridnode: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Printf("gridnode: metrics at http://%s/metrics (events at /events, profiles at /debug/pprof)\n", bound)
+	}
+
 	ch := chord.New(host, chord.Config{
 		StabilizeEvery:  500 * time.Millisecond,
 		FixFingersEvery: 500 * time.Millisecond,
+		Obs:             o,
 	})
-	rn := rntree.New(host, ch, caps, *osname, rntree.Config{AggregateEvery: time.Second})
+	rn := rntree.New(host, ch, caps, *osname, rntree.Config{AggregateEvery: time.Second, Obs: o})
 	overlay := &match.ChordOverlay{Chord: ch, Walk: rn}
 	var matcher grid.Matchmaker = &match.RNTree{RN: rn}
 	// Voting implies reputation: the owner scores replicas against each
@@ -105,6 +123,7 @@ func main() {
 		Quorum:         *quorum,
 		Trust:          tb,
 		ProbeEvery:     *probeEvery,
+		Obs:            o,
 	})
 	rn.SetLoadFn(gn.QueueLen)
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/transport"
 )
@@ -63,6 +64,9 @@ type Config struct {
 	// PushThreshold is the queue length above which an owner considers
 	// pushing an incoming job upward (default 2).
 	PushThreshold int
+	// Obs, when non-nil, receives routing and matchmaking metrics.
+	// Purely observational: no routing decision reads it.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -210,6 +214,16 @@ type Node struct {
 	// Routes counts completed local routes; RouteHops sums their hops.
 	Routes    int64
 	RouteHops int64
+
+	// Resolved obs instruments (nil-safe when cfg.Obs is nil).
+	mRoutes      *obs.Counter
+	mRouteFails  *obs.Counter
+	mRouteHops   *obs.Histogram
+	mMatches     *obs.Counter
+	mMatchFails  *obs.Counter
+	mMatchHops   *obs.Histogram
+	mMatchPushes *obs.Histogram
+	mMatchVisits *obs.Histogram
 }
 
 // New creates a CAN node bound to host, advertising the given
@@ -224,6 +238,16 @@ func New(host transport.Host, caps resource.Vector, os string, cfg Config) *Node
 		os:        os,
 		neighbors: make(map[transport.Addr]*neighbor),
 		loadFn:    func() int { return 0 },
+	}
+	if reg := cfg.Obs.Registry(); reg != nil {
+		n.mRoutes = reg.Counter("can_routes_total")
+		n.mRouteFails = reg.Counter("can_route_failures_total")
+		n.mRouteHops = reg.Histogram("can_route_hops", obs.DefBucketsHops)
+		n.mMatches = reg.Counter("can_matches_total")
+		n.mMatchFails = reg.Counter("can_match_failures_total")
+		n.mMatchHops = reg.Histogram("can_match_hops", obs.DefBucketsHops)
+		n.mMatchPushes = reg.Histogram("can_match_pushes", obs.DefBucketsHops)
+		n.mMatchVisits = reg.Histogram("can_match_visits", obs.DefBucketsHops)
 	}
 	host.Handle(MStep, n.handleStep)
 	host.Handle(MJoin, n.handleJoin)

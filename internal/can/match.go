@@ -32,7 +32,12 @@ func (n *Node) FindRunNode(rt transport.Runtime, cons resource.Constraints, excl
 		Push:    push,
 	})
 	stats := MatchStats{Hops: resp.Hops, Pushes: resp.Pushes, Visits: 1 + len(resp.Visited)}
+	n.mMatches.Inc()
+	n.mMatchHops.Observe(float64(stats.Hops))
+	n.mMatchPushes.Observe(float64(stats.Pushes))
+	n.mMatchVisits.Observe(float64(stats.Visits))
 	if !resp.Found {
+		n.mMatchFails.Inc()
 		return Ref{}, stats, fmt.Errorf("%w: %s", ErrNoCandidate, cons)
 	}
 	return resp.Run, stats, nil

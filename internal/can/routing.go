@@ -15,6 +15,10 @@ func (n *Node) Route(rt transport.Runtime, target Point) (Ref, int, error) {
 		n.Routes++
 		n.RouteHops += int64(hops)
 		n.mu.Unlock()
+		n.mRoutes.Inc()
+		n.mRouteHops.Observe(float64(hops))
+	} else {
+		n.mRouteFails.Inc()
 	}
 	return owner, hops, err
 }

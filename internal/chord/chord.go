@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -55,6 +56,9 @@ type Config struct {
 	CheckPredEvery time.Duration
 	// MaxHops aborts runaway lookups (default 120).
 	MaxHops int
+	// Obs, when non-nil, receives lookup metrics (hop histograms and
+	// counters). Purely observational: no routing decision reads it.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -140,6 +144,11 @@ type Node struct {
 	// counts. Read them for the DHT-behaviour experiment.
 	Lookups    int64
 	LookupHops int64
+
+	// Resolved obs instruments (nil-safe when cfg.Obs is nil).
+	mLookups  *obs.Counter
+	mFailures *obs.Counter
+	mHops     *obs.Histogram
 }
 
 // New creates a node bound to host with identity derived from the host
@@ -149,6 +158,11 @@ func New(host transport.Host, cfg Config) *Node {
 		host: host,
 		id:   ids.HashString(string(host.Addr())),
 		cfg:  cfg.withDefaults(),
+	}
+	if reg := n.cfg.Obs.Registry(); reg != nil {
+		n.mLookups = reg.Counter("chord_lookups_total")
+		n.mFailures = reg.Counter("chord_lookup_failures_total")
+		n.mHops = reg.Histogram("chord_lookup_hops", obs.DefBucketsHops)
 	}
 	host.Handle(MStep, n.handleStep)
 	host.Handle(MState, n.handleState)
@@ -240,6 +254,8 @@ func (n *Node) Lookup(rt transport.Runtime, key ids.ID) (Ref, int, error) {
 	owner, hops, err := n.lookupFrom(rt, n.Ref(), key)
 	if err == nil {
 		n.countLookup(hops)
+	} else {
+		n.mFailures.Inc()
 	}
 	return owner, hops, err
 }
@@ -249,6 +265,8 @@ func (n *Node) countLookup(hops int) {
 	n.Lookups++
 	n.LookupHops += int64(hops)
 	n.mu.Unlock()
+	n.mLookups.Inc()
+	n.mHops.Observe(float64(hops))
 }
 
 // lookupVia starts an iterative lookup at a remote bootstrap node whose

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -48,17 +49,17 @@ func (n *Node) ckptInterval(now time.Duration) time.Duration {
 		return n.cfg.CheckpointEvery
 	}
 	n.mu.Lock()
-	obs := 0
+	seen := 0
 	for _, t := range n.failObs {
 		if now-t <= n.cfg.CheckpointFailWindow {
-			obs++
+			seen++
 		}
 	}
 	n.mu.Unlock()
-	if obs == 0 {
+	if seen == 0 {
 		return n.cfg.CheckpointMaxEvery
 	}
-	rate := float64(obs) / n.cfg.CheckpointFailWindow.Seconds() // failures per second
+	rate := float64(seen) / n.cfg.CheckpointFailWindow.Seconds() // failures per second
 	opt := time.Duration(math.Sqrt(2*n.cfg.CheckpointCost.Seconds()/rate) * float64(time.Second))
 	if opt < n.cfg.CheckpointMinEvery {
 		opt = n.cfg.CheckpointMinEvery
@@ -74,6 +75,7 @@ type pendingCkpt struct {
 	owner transport.Addr
 	job   *queuedJob
 	ckpt  Checkpoint
+	tc    obs.TC // trace context captured with the snapshot
 }
 
 // collectPendingCkpts snapshots, under the node lock, every local
@@ -89,7 +91,7 @@ func (n *Node) collectPendingCkpts(jobs []*queuedJob) []pendingCkpt {
 		if n.done[q.prof.ID] || q.ckpt.Zero() || q.ckpt.Done <= q.shippedDone {
 			continue
 		}
-		out = append(out, pendingCkpt{owner: q.owner, job: q, ckpt: q.ckpt})
+		out = append(out, pendingCkpt{owner: q.owner, job: q, ckpt: q.ckpt, tc: q.tc})
 	}
 	n.mu.Unlock()
 	return out

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/transport"
 )
@@ -52,6 +53,10 @@ func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt in
 		submitAt: rt.Now(),
 	}
 	n.mu.Unlock()
+	// The trace spans the whole lineage: its ID is the attempt-0 GUID,
+	// so resubmissions chain onto the same trace.
+	req.TC = n.trace(obs.TC{ID: TraceID(req.Client, seq)}, rt.Now(), "submitted", attempt,
+		"", n.traceNote("work=%s", spec.Work))
 	// Seq and the expected digest give collectors a ground-truth channel:
 	// the digest an honest execution of this job must produce, compared
 	// against EvResultDelivered's digest to count accepted-wrong results.
@@ -102,29 +107,38 @@ func (n *Node) PendingCount() int {
 }
 
 func (n *Node) handleResult(rt transport.Runtime, from transport.Addr, req any) (any, error) {
-	n.acceptResult(rt, req.(ResultReq).Res)
+	r := req.(ResultReq)
+	n.acceptResult(rt, r.Res, r.TC)
 	return ResultResp{}, nil
 }
 
 // acceptResult records a delivered result (first attempt wins; later
-// duplicates from recovery re-runs are ignored).
-func (n *Node) acceptResult(rt transport.Runtime, res Result) {
+// duplicates from recovery re-runs are ignored). It returns the trace
+// context after recording the delivery.
+func (n *Node) acceptResult(rt transport.Runtime, res Result, tc obs.TC) obs.TC {
 	n.mu.Lock()
 	p, ok := n.pending[res.JobID]
 	fresh := ok && !p.got
 	var work time.Duration
+	seq := 0
 	if fresh {
 		p.got = true
 		p.resultAt = rt.Now()
 		work = p.work
+		seq = p.seq
 	}
 	n.mu.Unlock()
 	if fresh {
+		if tc.Zero() {
+			tc = obs.TC{ID: TraceID(n.host.Addr(), seq)}
+		}
+		tc = n.trace(tc, rt.Now(), "result-delivered", res.Attempt, res.RunNode, "")
 		n.rec.Record(Event{
 			Kind: EvResultDelivered, JobID: res.JobID, Attempt: res.Attempt,
 			At: rt.Now(), Node: res.RunNode, Progress: work, Digest: res.Digest,
 		})
 	}
+	return tc
 }
 
 // StartClientMonitor launches the resubmission watchdog: if a job has
@@ -170,11 +184,15 @@ func (n *Node) StartClientMonitor(resubmitAfter time.Duration) {
 func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendingJob) {
 	owner, _, err := n.overlay.RouteJob(rt, jobID, p.cons)
 	if err == nil {
+		// The status probe carries the lineage's context for wire
+		// uniformity; the owner records nothing for it (a query, not a
+		// lifecycle step).
+		sreq := StatusReq{JobID: jobID, TC: n.om.tracer.Context(TraceID(n.host.Addr(), p.seq))}
 		var raw any
 		if owner == n.host.Addr() {
-			raw, err = n.handleStatus(rt, n.host.Addr(), StatusReq{JobID: jobID})
+			raw, err = n.handleStatus(rt, n.host.Addr(), sreq)
 		} else {
-			raw, err = rt.Call(owner, MStatus, StatusReq{JobID: jobID})
+			raw, err = rt.Call(owner, MStatus, sreq)
 		}
 		if err == nil && raw.(StatusResp).Known {
 			// Someone is still responsible; extend patience by resetting
@@ -195,6 +213,8 @@ func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendi
 	}
 	delete(n.pending, jobID)
 	n.mu.Unlock()
+	n.trace(n.om.tracer.Context(TraceID(n.host.Addr(), p.seq)), rt.Now(), "resubmitted", p.attempt, "",
+		n.traceNote("next_attempt=%d", p.attempt+1))
 	n.rec.Record(Event{Kind: EvResubmitted, JobID: jobID, Attempt: p.attempt, At: rt.Now(), Node: n.host.Addr()})
 	spec := JobSpec{Cons: p.cons, Work: p.work, InputKB: p.inputKB, OutputKB: p.outputKB}
 	_, _ = n.submitAttempt(rt, spec, p.seq, p.attempt+1)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/transport"
 	"repro/internal/trust"
@@ -121,6 +122,15 @@ type Config struct {
 	// (wrong) or silently withhold the result (withhold). Installed by
 	// the fault-injection layer; nil on honest nodes.
 	Byzantine func(jobID ids.ID, attempt int) (wrong, withhold bool)
+
+	// Obs, when set, attaches the live observability layer: lifecycle
+	// metrics feed its registry, job traces its tracer, and structured
+	// events its hub. Observability is trace-neutral — it never feeds
+	// back into protocol decisions, and attaching it to a deterministic
+	// simulation leaves the recorded event trace byte-identical (see
+	// obs_soak_test.go). Nil disables it at zero cost beyond one
+	// predictable branch per instrument call.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -203,6 +213,14 @@ type Profile struct {
 // by hashing the submission identity.
 func JobGUID(client transport.Addr, seq, attempt int) ids.ID {
 	return ids.HashString(fmt.Sprintf("%s/%d/%d", client, seq, attempt))
+}
+
+// TraceID is a job lineage's trace identifier: the attempt-0 GUID,
+// stable across resubmissions so one trace spans every attempt — and
+// derivable from the submission identity alone, so any node can
+// reconstruct it for an untraced legacy message.
+func TraceID(client transport.Addr, seq int) ids.ID {
+	return JobGUID(client, seq, 0)
 }
 
 // Checkpoint is a snapshot of one job's partial progress, produced by

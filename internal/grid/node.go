@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/transport"
 	"repro/internal/trust"
@@ -19,9 +20,16 @@ var (
 	ErrUnknownJob  = errors.New("grid: unknown job")
 )
 
-// RPC message types.
+// RPC message types. Job-scoped messages carry a propagated trace
+// context (TC) so the observability layer can reconstruct a job's
+// lifecycle across nodes; handlers record and forward it but never
+// branch on it (the trace-neutrality invariant — see internal/obs).
+// Node-scoped messages (heartbeat, probe, trust, stats) carry none.
 type (
-	// InjectReq asks any node to insert a job for a client.
+	// InjectReq asks any node to insert a job for a client. TC is the
+	// submission's trace context; zero from untraced legacy clients, in
+	// which case the injection node derives it from the submission
+	// identity.
 	InjectReq struct {
 		Client   transport.Addr
 		Seq      int
@@ -30,6 +38,7 @@ type (
 		Work     time.Duration
 		InputKB  int
 		OutputKB int
+		TC       obs.TC
 	}
 	// InjectResp confirms insertion: the assigned GUID and owner.
 	InjectResp struct {
@@ -38,7 +47,10 @@ type (
 		Hops  int
 	}
 	// OwnReq hands a job profile to its owner node.
-	OwnReq struct{ Prof Profile }
+	OwnReq struct {
+		Prof Profile
+		TC   obs.TC
+	}
 	// OwnResp acknowledges ownership.
 	OwnResp struct{}
 	// AssignReq enqueues a job at a run node. Ckpt, when non-zero,
@@ -48,6 +60,7 @@ type (
 		Prof  Profile
 		Owner transport.Addr
 		Ckpt  Checkpoint
+		TC    obs.TC
 	}
 	// AssignResp acknowledges with the queue position.
 	AssignResp struct{ Position int }
@@ -72,16 +85,23 @@ type (
 		Run    transport.Addr
 		Digest string
 		Res    Result
+		TC     obs.TC
 	}
 	// CompleteResp acknowledges completion.
 	CompleteResp struct{}
 	// ResultReq delivers a result to the client.
-	ResultReq struct{ Res Result }
+	ResultReq struct {
+		Res Result
+		TC  obs.TC
+	}
 	// ResultResp acknowledges delivery.
 	ResultResp struct{}
 	// RelayReq asks the owner to deliver a result the run node could
 	// not deliver directly.
-	RelayReq struct{ Res Result }
+	RelayReq struct {
+		Res Result
+		TC  obs.TC
+	}
 	// RelayResp acknowledges the relay request.
 	RelayResp struct{}
 	// AdoptReq asks a node to become the new owner of an orphaned job.
@@ -91,6 +111,7 @@ type (
 		Prof Profile
 		Run  transport.Addr
 		Ckpt Checkpoint
+		TC   obs.TC
 	}
 	// AdoptResp acknowledges adoption.
 	AdoptResp struct{}
@@ -99,6 +120,7 @@ type (
 	CheckpointReq struct {
 		Run  transport.Addr
 		Ckpt Checkpoint
+		TC   obs.TC
 	}
 	// CheckpointResp acknowledges checkpoint receipt.
 	CheckpointResp struct{}
@@ -117,7 +139,10 @@ type (
 	// no table).
 	TrustResp struct{ Entries []trust.Entry }
 	// StatusReq asks an owner about a job.
-	StatusReq struct{ JobID ids.ID }
+	StatusReq struct {
+		JobID ids.ID
+		TC    obs.TC
+	}
 	// StatusResp reports whether the owner tracks the job.
 	StatusResp struct {
 		Known   bool
@@ -153,6 +178,9 @@ type ownedJob struct {
 	relay      *Result    // result awaiting relay to the client
 	relayTries int        // failed relay attempts so far
 	ckpt       Checkpoint // latest checkpoint received from a run node
+	// tc is the job's trace context (observability only: carried and
+	// recorded, never read by protocol logic).
+	tc obs.TC
 	// vote, when non-nil, switches this job to the redundant-execution
 	// state machine (see voting.go); run/matched/lastHB/ckpt are unused.
 	vote *voteState
@@ -193,6 +221,10 @@ type queuedJob struct {
 	// shippedDone is the progress mark of the last checkpoint the
 	// owner acknowledged; snapshots beyond it are pending shipment.
 	shippedDone time.Duration
+	// tc/enqueuedAt are observability-only (trace context and queue-wait
+	// measurement); tc is always read and written under the node lock.
+	tc         obs.TC
+	enqueuedAt time.Duration
 }
 
 // Node is one grid peer: simultaneously a potential injection node,
@@ -205,6 +237,8 @@ type Node struct {
 	overlay Overlay
 	matcher Matchmaker
 	rec     Recorder
+	obsv    *obs.Obs // nil when observability is off
+	om      *nodeObs // resolved instruments (never nil; no-op fields)
 
 	mu      sync.Mutex
 	owned   map[ids.ID]*ownedJob
@@ -265,6 +299,11 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 		pending:    make(map[ids.ID]*pendingJob),
 		executedBy: make(map[ids.ID]time.Duration),
 	}
+	n.obsv = n.cfg.Obs
+	n.om = newNodeObs(n, n.cfg.Obs)
+	if n.cfg.Obs != nil {
+		n.rec = &obsTee{n: n, hub: n.cfg.Obs.GetHub(), next: n.rec}
+	}
 	host.Handle(MInject, n.handleInject)
 	host.Handle(MOwn, n.handleOwn)
 	host.Handle(MAssign, n.handleAssign)
@@ -277,6 +316,8 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 	host.Handle(MCkpt, n.handleCheckpoint)
 	host.Handle(MProbe, n.handleProbe)
 	host.Handle(MTrust, n.handleTrust)
+	host.Handle(MStats, n.handleStats)
+	host.Handle(MTrace, n.handleTrace)
 	return n
 }
 
@@ -358,14 +399,21 @@ func (n *Node) Inject(rt transport.Runtime, req InjectReq) (InjectResp, error) {
 		InputKB:  req.InputKB,
 		OutputKB: req.OutputKB,
 	}
+	tc := req.TC
+	if tc.Zero() {
+		// Untraced legacy sender: the trace ID is derivable from the
+		// submission identity, so the lifecycle stays reconstructable.
+		tc = obs.TC{ID: TraceID(req.Client, req.Seq)}
+	}
 	owner, hops, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
 	if err != nil {
 		return InjectResp{}, fmt.Errorf("grid: route job %s: %w", prof.ID.Short(), err)
 	}
+	tc = n.trace(tc, rt.Now(), "injected", prof.Attempt, owner, n.traceNote("hops=%d", hops))
 	n.rec.Record(Event{Kind: EvInjected, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr(), Hops: hops})
 	if owner == n.host.Addr() {
-		n.ownJob(rt, prof)
-	} else if _, err := rt.Call(owner, MOwn, OwnReq{Prof: prof}); err != nil {
+		n.ownJob(rt, prof, tc)
+	} else if _, err := rt.Call(owner, MOwn, OwnReq{Prof: prof, TC: tc}); err != nil {
 		return InjectResp{}, fmt.Errorf("grid: hand job %s to owner %s: %w", prof.ID.Short(), owner, err)
 	}
 	return InjectResp{JobID: prof.ID, Owner: owner, Hops: hops}, nil
@@ -382,19 +430,20 @@ func (n *Node) handleInject(rt transport.Runtime, from transport.Addr, req any) 
 // --- owner role ---
 
 func (n *Node) handleOwn(rt transport.Runtime, from transport.Addr, req any) (any, error) {
-	n.ownJob(rt, req.(OwnReq).Prof)
+	o := req.(OwnReq)
+	n.ownJob(rt, o.Prof, o.TC)
 	return OwnResp{}, nil
 }
 
 // ownJob records ownership and starts matchmaking asynchronously so the
 // injection path acknowledges quickly.
-func (n *Node) ownJob(rt transport.Runtime, prof Profile) {
+func (n *Node) ownJob(rt transport.Runtime, prof Profile, tc obs.TC) {
 	n.mu.Lock()
 	if _, dup := n.owned[prof.ID]; dup {
 		n.mu.Unlock()
 		return
 	}
-	job := &ownedJob{prof: prof, lastHB: rt.Now(), matching: true}
+	job := &ownedJob{prof: prof, lastHB: rt.Now(), matching: true, tc: tc}
 	if n.cfg.votingOn() {
 		job.matching = false
 		job.vote = newVoteState()
@@ -402,6 +451,7 @@ func (n *Node) ownJob(rt transport.Runtime, prof Profile) {
 	}
 	n.owned[prof.ID] = job
 	n.mu.Unlock()
+	n.trace(tc, rt.Now(), "owned", prof.Attempt, "", "")
 	n.record(EvOwned, prof, rt.Now())
 	if job.vote != nil {
 		n.host.Go("grid.match", func(rt transport.Runtime) {
@@ -432,17 +482,23 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 			return
 		}
 		prof := job.prof
+		tc := job.tc
 		excluded := append([]transport.Addr(nil), job.excluded...)
 		ckpt := job.ckpt
 		n.mu.Unlock()
 
 		run, stats, err := n.matcher.FindRunNode(rt, prof.Cons, excluded)
 		if err != nil {
+			n.trace(tc, rt.Now(), "match-failed", prof.Attempt, "", "")
 			n.record(EvMatchFailed, prof, rt.Now(), stats)
 			rt.Sleep(n.cfg.MatchRetryEvery)
 			continue
 		}
-		req := AssignReq{Prof: prof, Owner: n.host.Addr(), Ckpt: ckpt}
+		// The "matched" trace step is recorded before the assignment so
+		// the run node's "enqueued" hop sorts strictly after it; a failed
+		// assignment leaves a matched step with no enqueue following it.
+		tc = n.trace(tc, rt.Now(), "matched", prof.Attempt, run, n.traceNote("hops=%d visits=%d", stats.Hops, stats.Visits))
+		req := AssignReq{Prof: prof, Owner: n.host.Addr(), Ckpt: ckpt, TC: tc}
 		var assignErr error
 		if run == n.host.Addr() {
 			_, assignErr = n.assign(rt, req)
@@ -462,6 +518,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 			job.run = run
 			job.matched = true
 			job.lastHB = rt.Now()
+			job.tc = tc
 		}
 		n.mu.Unlock()
 		n.record(EvMatched, prof, rt.Now(), stats)
@@ -470,12 +527,15 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 	n.mu.Lock()
 	job, ok := n.owned[jobID]
 	var prof Profile
+	var tc obs.TC
 	if ok {
 		prof = job.prof
+		tc = job.tc
 		delete(n.owned, jobID)
 	}
 	n.mu.Unlock()
 	if ok {
+		n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 		n.record(EvGaveUp, prof, rt.Now())
 	}
 }
@@ -496,6 +556,8 @@ func (n *Node) ownerMonitorLoop(rt transport.Runtime) {
 type deadRun struct {
 	id    ids.ID
 	prof  Profile
+	run   transport.Addr // the run node declared dead
+	tc    obs.TC
 	saved time.Duration
 }
 
@@ -532,20 +594,22 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			continue
 		}
 		if now-job.lastHB > n.cfg.RunDeadAfter {
+			rematch = append(rematch, deadRun{id: id, prof: job.prof, run: job.run, tc: job.tc, saved: job.ckpt.Done})
 			job.excluded = append(job.excluded, job.run)
 			job.matched = false
 			job.matching = true
-			rematch = append(rematch, deadRun{id: id, prof: job.prof, saved: job.ckpt.Done})
 		}
 	}
 	n.mu.Unlock()
 	for _, d := range deadReps {
+		n.trace(d.tc, now, "run-failure-detected", d.prof.Attempt, d.run, "")
 		n.rec.Record(Event{
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
 			At: now, Node: n.host.Addr(),
 		})
 	}
 	for _, d := range rematch {
+		n.trace(d.tc, now, "run-failure-detected", d.prof.Attempt, d.run, n.traceNote("saved=%s", d.saved))
 		n.rec.Record(Event{
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
 			At: now, Node: n.host.Addr(), Progress: d.saved,
@@ -575,14 +639,17 @@ func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 	n.mu.Lock()
 	job, ok := n.owned[res.JobID]
 	var clientAddr transport.Addr
+	var tc obs.TC
 	if ok {
 		clientAddr = job.prof.Client
+		tc = job.tc
 	}
 	n.mu.Unlock()
 	if !ok {
 		return
 	}
-	if _, err := rt.Call(clientAddr, MResult, ResultReq{Res: res}); err == nil {
+	tc = n.trace(tc, rt.Now(), "result-relayed", res.Attempt, clientAddr, "")
+	if _, err := rt.Call(clientAddr, MResult, ResultReq{Res: res, TC: tc}); err == nil {
 		n.mu.Lock()
 		delete(n.owned, res.JobID)
 		n.mu.Unlock()
@@ -602,6 +669,7 @@ func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 	}
 	n.mu.Unlock()
 	if gaveUp {
+		n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 		n.record(EvGaveUp, prof, rt.Now())
 	}
 }
@@ -612,7 +680,9 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 	job, ok := n.owned[c.JobID]
 	if ok && job.vote != nil {
 		evs, fill := n.applyVoteLocked(rt.Now(), job, c)
+		jobTC := job.tc
 		n.mu.Unlock()
+		n.traceVoteEvents(c.TC, jobTC, evs)
 		for _, ev := range evs {
 			n.rec.Record(ev)
 		}
@@ -631,11 +701,19 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 		n.mu.Unlock()
 		return CompleteResp{}, nil
 	}
+	var tc obs.TC
+	if ok {
+		tc = c.TC
+		if tc.Zero() {
+			tc = job.tc
+		}
+	}
 	if ok && job.relay == nil {
 		delete(n.owned, c.JobID)
 	}
 	n.mu.Unlock()
 	if ok {
+		n.trace(tc, rt.Now(), "completed", job.prof.Attempt, c.Run, "")
 		n.record(EvCompleted, job.prof, rt.Now())
 	}
 	return CompleteResp{}, nil
@@ -644,11 +722,18 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 func (n *Node) handleRelay(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	r := req.(RelayReq)
 	n.mu.Lock()
-	if job, ok := n.owned[r.Res.JobID]; ok {
+	job, ok := n.owned[r.Res.JobID]
+	if ok {
 		res := r.Res
 		job.relay = &res
+		if !r.TC.Zero() {
+			job.tc = r.TC
+		}
 	}
 	n.mu.Unlock()
+	if ok {
+		n.trace(r.TC, rt.Now(), "relay-accepted", r.Res.Attempt, from, "")
+	}
 	return RelayResp{}, nil
 }
 
@@ -657,6 +742,9 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 	n.mu.Lock()
 	fill := false
 	if job, dup := n.owned[a.Prof.ID]; dup {
+		if !a.TC.Zero() {
+			job.tc = a.TC
+		}
 		if job.vote != nil {
 			// The surviving run node re-registers as one replica of the
 			// restarted vote.
@@ -675,6 +763,7 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 		// filler tops the set back up to R.
 		fill = true
 		job := n.newVotingJobLocked(a.Prof)
+		job.tc = a.TC
 		adoptReplicaLocked(job, a.Run, rt.Now())
 		n.owned[a.Prof.ID] = job
 	} else {
@@ -683,11 +772,13 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 			run:     a.Run,
 			matched: true,
 			lastHB:  rt.Now(),
+			tc:      a.TC,
 		}
 		job.absorbCkpt(a.Ckpt)
 		n.owned[a.Prof.ID] = job
 	}
 	n.mu.Unlock()
+	n.trace(a.TC, rt.Now(), "owner-adopted", a.Prof.Attempt, a.Run, "")
 	n.record(EvOwnerAdopted, a.Prof, rt.Now())
 	if fill {
 		n.host.Go("grid.fill", func(rt transport.Runtime) {
@@ -702,10 +793,15 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 func (n *Node) handleCheckpoint(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	c := req.(CheckpointReq)
 	n.mu.Lock()
+	absorbed := false
 	if job, ok := n.owned[c.Ckpt.JobID]; ok && job.vote == nil {
-		job.absorbCkpt(c.Ckpt)
+		absorbed = job.absorbCkpt(c.Ckpt)
 	}
 	n.mu.Unlock()
+	if absorbed {
+		n.trace(c.TC, rt.Now(), "checkpoint-stored", c.Ckpt.Attempt, c.Run,
+			n.traceNote("done=%s bytes=%d", c.Ckpt.Done, len(c.Ckpt.Data)))
+	}
 	return CheckpointResp{}, nil
 }
 
@@ -725,6 +821,7 @@ func (n *Node) handleStatus(rt transport.Runtime, from transport.Addr, req any) 
 
 func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	hb := req.(HeartbeatReq)
+	n.om.hbRecv.Inc()
 	var drop []ids.ID
 	now := rt.Now()
 	n.mu.Lock()

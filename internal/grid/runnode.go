@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -39,7 +40,7 @@ func (n *Node) assign(rt transport.Runtime, req AssignReq) (AssignResp, error) {
 		}
 	}
 	delete(n.done, req.Prof.ID)
-	q := &queuedJob{prof: req.Prof, owner: req.Owner}
+	q := &queuedJob{prof: req.Prof, owner: req.Owner, enqueuedAt: rt.Now()}
 	if !req.Ckpt.Zero() && req.Ckpt.Attempt == req.Prof.Attempt {
 		// Resume seed: the owner already holds this snapshot, so it is
 		// born shipped.
@@ -51,6 +52,7 @@ func (n *Node) assign(rt transport.Runtime, req AssignReq) (AssignResp, error) {
 	if n.running != nil {
 		pos++
 	}
+	q.tc = n.trace(req.TC, rt.Now(), "enqueued", req.Prof.Attempt, req.Owner, n.traceNote("pos=%d", pos))
 	n.record(EvEnqueued, req.Prof, rt.Now())
 	return AssignResp{Position: pos}, nil
 }
@@ -83,6 +85,7 @@ func (n *Node) execLoop(rt transport.Runtime) {
 			n.queue = append(n.queue[:pick], n.queue[pick+1:]...)
 			n.running = job
 			served[job.prof.Client]++
+			job.tc = n.trace(job.tc, rt.Now(), "started", job.prof.Attempt, "", "")
 		}
 		n.mu.Unlock()
 		if job == nil {
@@ -90,6 +93,7 @@ func (n *Node) execLoop(rt transport.Runtime) {
 			continue
 		}
 		started := rt.Now()
+		n.om.queueWait.Observe((started - job.enqueuedAt).Seconds())
 		n.record(EvStarted, job.prof, started)
 		n.executeAndReport(rt, job, started)
 	}
@@ -138,11 +142,13 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 		digest = CorruptDigest(digest, n.host.Addr())
 	}
 
+	n.om.runSeconds.Observe((finished - started).Seconds())
 	n.mu.Lock()
 	dropped := n.done[job.prof.ID] || aborted
 	n.running = nil
 	n.done[job.prof.ID] = true
 	owner := job.owner
+	tc := job.tc
 	n.mu.Unlock()
 	if dropped {
 		// The owner reassigned this job while we ran it; discard.
@@ -155,7 +161,10 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 		// disavows it and recruits a replacement.
 		return
 	}
+	n.mu.Lock()
 	n.Completed++
+	n.mu.Unlock()
+	tc = n.trace(tc, finished, "executed", job.prof.Attempt, "", n.traceNote("out_kb=%d", outKB))
 
 	res := Result{
 		JobID:    job.prof.ID,
@@ -171,18 +180,19 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 		// Redundant execution: the replica does not deliver to the
 		// client; its completion IS its vote, and the owner delivers
 		// the quorum winner.
-		n.reportVote(rt, owner, res)
+		n.reportVote(rt, owner, res, tc)
 		return
 	}
 	// Deliver the result first, then release the owner: completing
 	// before delivery would make the owner forget the job and lose the
 	// relay fallback.
-	delivered := n.deliverResult(rt, job.prof, owner, res)
+	delivered, tc := n.deliverResult(rt, job.prof, owner, res, tc)
 	if delivered {
+		req := CompleteReq{JobID: res.JobID, Run: n.host.Addr(), TC: tc}
 		if owner == n.host.Addr() {
-			_, _ = n.handleComplete(rt, n.host.Addr(), CompleteReq{JobID: res.JobID, Run: n.host.Addr()})
+			_, _ = n.handleComplete(rt, n.host.Addr(), req)
 		} else {
-			_, _ = rt.Call(owner, MComplete, CompleteReq{JobID: res.JobID, Run: n.host.Addr()})
+			_, _ = rt.Call(owner, MComplete, req)
 		}
 	}
 }
@@ -192,8 +202,8 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 // the vote is abandoned: the heartbeat loop's owner-failure path finds
 // the successor owner, and the client monitor resubmits if the whole
 // vote was lost.
-func (n *Node) reportVote(rt transport.Runtime, owner transport.Addr, res Result) {
-	req := CompleteReq{JobID: res.JobID, Run: n.host.Addr(), Digest: res.Digest, Res: res}
+func (n *Node) reportVote(rt transport.Runtime, owner transport.Addr, res Result, tc obs.TC) {
+	req := CompleteReq{JobID: res.JobID, Run: n.host.Addr(), Digest: res.Digest, Res: res, TC: tc}
 	for try := 0; try < n.cfg.ResultRetries; try++ {
 		var err error
 		if owner == n.host.Addr() {
@@ -225,6 +235,9 @@ func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
 	n.mu.Unlock()
 	if !seed.Zero() && seed.Attempt == job.prof.Attempt {
 		if err := sw.ResumeFrom(workload.Snapshot{Done: seed.Done, Data: seed.Data}); err == nil {
+			n.mu.Lock()
+			job.tc = n.trace(job.tc, rt.Now(), "resumed", job.prof.Attempt, "", n.traceNote("done=%s", seed.Done))
+			n.mu.Unlock()
 			n.rec.Record(Event{
 				Kind: EvResumed, JobID: job.prof.ID, Attempt: job.prof.Attempt,
 				At: rt.Now(), Node: n.host.Addr(), Progress: seed.Done,
@@ -261,7 +274,10 @@ func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
 			}
 			n.mu.Lock()
 			job.ckpt = ck
+			job.tc = n.trace(job.tc, rt.Now(), "checkpointed", job.prof.Attempt, "",
+				n.traceNote("done=%s bytes=%d", snap.Done, len(snap.Data)))
 			n.mu.Unlock()
+			n.om.ckptBytes.Observe(float64(len(snap.Data)))
 			n.rec.Record(Event{
 				Kind: EvCheckpointed, JobID: job.prof.ID, Attempt: job.prof.Attempt,
 				At: rt.Now(), Node: n.host.Addr(), Progress: snap.Done,
@@ -277,23 +293,24 @@ func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
 // ensuring that its results are returned to the client". It reports
 // whether direct delivery succeeded; on the relay path the owner keeps
 // the job until its own delivery attempt lands.
-func (n *Node) deliverResult(rt transport.Runtime, prof Profile, owner transport.Addr, res Result) bool {
+func (n *Node) deliverResult(rt transport.Runtime, prof Profile, owner transport.Addr, res Result, tc obs.TC) (bool, obs.TC) {
 	if prof.Client == n.host.Addr() {
-		n.acceptResult(rt, res)
-		return true
+		return true, n.acceptResult(rt, res, tc)
 	}
+	tc = n.trace(tc, rt.Now(), "result-sent", prof.Attempt, prof.Client, "")
 	for try := 0; try < n.cfg.ResultRetries; try++ {
-		if _, err := rt.Call(prof.Client, MResult, ResultReq{Res: res}); err == nil {
-			return true
+		if _, err := rt.Call(prof.Client, MResult, ResultReq{Res: res, TC: tc}); err == nil {
+			return true, tc
 		}
 		rt.Sleep(time.Second)
 	}
+	tc = n.trace(tc, rt.Now(), "relay-requested", prof.Attempt, owner, "")
 	if owner == n.host.Addr() {
-		_, _ = n.handleRelay(rt, n.host.Addr(), RelayReq{Res: res})
+		_, _ = n.handleRelay(rt, n.host.Addr(), RelayReq{Res: res, TC: tc})
 	} else {
-		_, _ = rt.Call(owner, MRelay, RelayReq{Res: res})
+		_, _ = rt.Call(owner, MRelay, RelayReq{Res: res, TC: tc})
 	}
-	return false
+	return false, tc
 }
 
 // heartbeatLoop implements the paper's soft-state heartbeats: every
@@ -310,6 +327,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 		n.mu.Lock()
 		byOwner := make(map[transport.Addr][]ids.ID)
 		profs := make(map[ids.ID]Profile)
+		tcs := make(map[ids.ID]obs.TC)
 		jobs := make([]*queuedJob, 0, len(n.queue)+1)
 		if n.running != nil {
 			jobs = append(jobs, n.running)
@@ -318,6 +336,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 		for _, q := range jobs {
 			byOwner[q.owner] = append(byOwner[q.owner], q.prof.ID)
 			profs[q.prof.ID] = q.prof
+			tcs[q.prof.ID] = q.tc
 		}
 		n.mu.Unlock()
 
@@ -352,6 +371,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 			for _, p := range piggy[owner] {
 				req.Ckpts = append(req.Ckpts, p.ckpt)
 			}
+			n.om.hbSent.Inc()
 			var resp any
 			var err error
 			if owner == n.host.Addr() {
@@ -360,28 +380,32 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 				resp, err = rt.Call(owner, MHeartbeat, req)
 			}
 			if err != nil {
+				n.om.hbFailed.Inc()
 				if _, ok := ownerSilentSince[owner]; !ok {
 					ownerSilentSince[owner] = now
 				} else if now-ownerSilentSince[owner] > n.cfg.OwnerDeadAfter {
 					delete(ownerSilentSince, owner)
 					n.noteFailureSignal(now)
 					for _, id := range jobIDs {
+						tc := n.trace(tcs[id], now, "owner-failure-detected", profs[id].Attempt, owner, "")
 						n.record(EvOwnerFailureDetected, profs[id], now)
-						n.reassignOwner(rt, profs[id], owner)
+						n.reassignOwner(rt, profs[id], owner, tc)
 					}
 				}
 				continue
 			}
+			n.om.hbAcked.Inc()
 			delete(ownerSilentSince, owner)
 			for _, p := range piggy[owner] {
 				n.markShipped(p)
 			}
 			for _, p := range oversize[owner] {
+				ckReq := CheckpointReq{Run: n.host.Addr(), Ckpt: p.ckpt, TC: p.tc}
 				var err error
 				if owner == n.host.Addr() {
-					_, err = n.handleCheckpoint(rt, n.host.Addr(), CheckpointReq{Run: n.host.Addr(), Ckpt: p.ckpt})
+					_, err = n.handleCheckpoint(rt, n.host.Addr(), ckReq)
 				} else {
-					_, err = rt.Call(owner, MCkpt, CheckpointReq{Run: n.host.Addr(), Ckpt: p.ckpt})
+					_, err = rt.Call(owner, MCkpt, ckReq)
 				}
 				if err == nil {
 					n.markShipped(p)
@@ -397,7 +421,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 
 // reassignOwner routes a job's GUID to its current DHT owner and asks
 // it to adopt the job; the run node then reports heartbeats there.
-func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner transport.Addr) {
+func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner transport.Addr, tc obs.TC) {
 	newOwner, _, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
 	if err != nil || newOwner == deadOwner {
 		return // retry on a later heartbeat round
@@ -405,19 +429,21 @@ func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner trans
 	// The adoption request carries our newest snapshot so the new owner
 	// starts with the dead owner's replicated progress, not zero.
 	ckpt := n.localCkpt(prof.ID)
+	tc = n.trace(tc, rt.Now(), "adopt-requested", prof.Attempt, newOwner, "")
 	if newOwner == n.host.Addr() {
 		n.mu.Lock()
 		job, dup := n.owned[prof.ID]
 		if !dup {
-			job = &ownedJob{prof: prof, run: n.host.Addr(), matched: true, lastHB: rt.Now()}
+			job = &ownedJob{prof: prof, run: n.host.Addr(), matched: true, lastHB: rt.Now(), tc: tc}
 			n.owned[prof.ID] = job
 		}
 		job.absorbCkpt(ckpt)
 		n.mu.Unlock()
 		if !dup {
+			n.trace(tc, rt.Now(), "owner-adopted", prof.Attempt, "", "")
 			n.record(EvOwnerAdopted, prof, rt.Now())
 		}
-	} else if _, err := rt.Call(newOwner, MAdopt, AdoptReq{Prof: prof, Run: n.host.Addr(), Ckpt: ckpt}); err != nil {
+	} else if _, err := rt.Call(newOwner, MAdopt, AdoptReq{Prof: prof, Run: n.host.Addr(), Ckpt: ckpt, TC: tc}); err != nil {
 		return
 	}
 	n.mu.Lock()
@@ -427,6 +453,7 @@ func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner trans
 	for _, q := range n.queue {
 		if q.prof.ID == prof.ID {
 			q.owner = newOwner
+			q.tc = tc
 			// The new owner holds whatever the adoption carried.
 			if !ckpt.Zero() && ckpt.Done > q.shippedDone {
 				q.shippedDone = ckpt.Done

@@ -170,14 +170,18 @@ func (n *Node) fillReplicas(rt transport.Runtime, jobID ids.ID) {
 				return
 			}
 			prof := job.prof
+			tc := job.tc
 			delete(n.owned, jobID)
 			n.mu.Unlock()
+			tc = n.trace(tc, rt.Now(), "quorum-failed", prof.Attempt, "", "")
+			n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 			n.rec.Record(Event{Kind: EvQuorumFailed, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr()})
 			n.record(EvGaveUp, prof, rt.Now())
 			return
 		}
 		v.assigns++
 		prof := job.prof
+		tc := job.tc
 		// Never place two replicas on one node, nor on a disavowed one.
 		exclude := append([]transport.Addr(nil), job.excluded...)
 		for _, r := range v.reps {
@@ -187,11 +191,13 @@ func (n *Node) fillReplicas(rt transport.Runtime, jobID ids.ID) {
 
 		run, stats, err := n.matcher.FindRunNode(rt, prof.Cons, exclude)
 		if err != nil {
+			n.trace(tc, rt.Now(), "match-failed", prof.Attempt, "", "")
 			n.record(EvMatchFailed, prof, rt.Now(), stats)
 			rt.Sleep(n.cfg.MatchRetryEvery)
 			continue
 		}
-		req := AssignReq{Prof: prof, Owner: n.host.Addr()}
+		tc = n.trace(tc, rt.Now(), "matched", prof.Attempt, run, n.traceNote("hops=%d visits=%d", stats.Hops, stats.Visits))
+		req := AssignReq{Prof: prof, Owner: n.host.Addr(), TC: tc}
 		var assignErr error
 		if run == n.host.Addr() {
 			_, assignErr = n.assign(rt, req)
@@ -210,6 +216,7 @@ func (n *Node) fillReplicas(rt transport.Runtime, jobID ids.ID) {
 		if job, ok := n.owned[jobID]; ok && job.vote != nil &&
 			job.vote.winner == "" && !job.isExcluded(run) && !job.vote.hasReplica(run) {
 			job.vote.reps = append(job.vote.reps, &replica{run: run, lastHB: rt.Now()})
+			job.tc = tc
 		}
 		n.mu.Unlock()
 		n.record(EvMatched, prof, rt.Now(), stats)

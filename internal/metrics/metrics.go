@@ -28,10 +28,10 @@ func Summarize(xs []float64) Summary {
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
-	s.P50 = quantile(sorted, 0.50)
-	s.P90 = quantile(sorted, 0.90)
-	s.P95 = quantile(sorted, 0.95)
-	s.P99 = quantile(sorted, 0.99)
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P90 = quantileSorted(sorted, 0.90)
+	s.P95 = quantileSorted(sorted, 0.95)
+	s.P99 = quantileSorted(sorted, 0.99)
 	var sum float64
 	for _, x := range xs {
 		sum += x
@@ -48,8 +48,32 @@ func Summarize(xs []float64) Summary {
 	return s
 }
 
-// quantile interpolates the q-quantile of a sorted sample.
-func quantile(sorted []float64, q float64) float64 {
+// Quantile interpolates the q-quantile of a sample (q in [0,1]). It is
+// the exact-sample counterpart of obs.Histogram.Quantile's bucketed
+// estimate; the obs tests cross-check the two. An empty sample yields
+// 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+// Quantiles returns the (p50, p95, p99) triple of a sample — the
+// shape reported by grid.stats and the paper's wait-time tables.
+func Quantiles(xs []float64) (p50, p95, p99 float64) {
+	if len(xs) == 0 {
+		return 0, 0, 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, 0.50), quantileSorted(sorted, 0.95), quantileSorted(sorted, 0.99)
+}
+
+// quantileSorted interpolates the q-quantile of a sorted sample.
+func quantileSorted(sorted []float64, q float64) float64 {
 	if len(sorted) == 1 {
 		return sorted[0]
 	}

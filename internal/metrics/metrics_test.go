@@ -41,6 +41,72 @@ func TestSummarizeDoesNotMutateInput(t *testing.T) {
 	}
 }
 
+func TestQuantileExported(t *testing.T) {
+	xs := []float64{50, 10, 30, 20, 40} // unsorted on purpose
+	if got := Quantile(xs, 0.5); got != 30 {
+		t.Fatalf("p50 = %v, want 30", got)
+	}
+	if got := Quantile(xs, 0); got != 10 {
+		t.Fatalf("p0 = %v, want 10", got)
+	}
+	if got := Quantile(xs, 1); got != 50 {
+		t.Fatalf("p100 = %v, want 50", got)
+	}
+	// Interpolation: p75 of 10..50 lies between 30 and 40.
+	if got := Quantile(xs, 0.75); got != 40 {
+		t.Fatalf("p75 = %v, want 40", got)
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty sample")
+	}
+	if xs[0] != 50 {
+		t.Fatal("input mutated")
+	}
+	// Quantile must agree with Summarize on the same sample.
+	s := Summarize(xs)
+	if Quantile(xs, 0.50) != s.P50 || Quantile(xs, 0.95) != s.P95 || Quantile(xs, 0.99) != s.P99 {
+		t.Fatal("Quantile disagrees with Summarize")
+	}
+}
+
+func TestQuantilesTriple(t *testing.T) {
+	var xs []float64
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	p50, p95, p99 := Quantiles(xs)
+	s := Summarize(xs)
+	if p50 != s.P50 || p95 != s.P95 || p99 != s.P99 {
+		t.Fatalf("triple (%v,%v,%v) vs summary (%v,%v,%v)", p50, p95, p99, s.P50, s.P95, s.P99)
+	}
+	if a, b, c := Quantiles(nil); a != 0 || b != 0 || c != 0 {
+		t.Fatal("empty triple")
+	}
+}
+
+func TestCollectorQuantiles(t *testing.T) {
+	c := NewCollector()
+	// Five jobs with wait times 1..5 s and turnarounds 11..15 s.
+	for i := 1; i <= 5; i++ {
+		id := ids.HashString(string(rune('a' + i)))
+		c.Record(grid.Event{Kind: grid.EvSubmitted, JobID: id, At: 0})
+		c.Record(grid.Event{Kind: grid.EvStarted, JobID: id, At: time.Duration(i) * time.Second})
+		c.Record(grid.Event{Kind: grid.EvResultDelivered, JobID: id, At: time.Duration(10+i) * time.Second})
+	}
+	p50, p95, p99 := c.WaitQuantiles()
+	ws, ts := Summarize(c.WaitTimes()), Summarize(c.Turnarounds())
+	if p50 != ws.P50 || p95 != ws.P95 || p99 != ws.P99 {
+		t.Fatalf("wait quantiles (%v,%v,%v) vs %+v", p50, p95, p99, ws)
+	}
+	if p50 != 3 {
+		t.Fatalf("wait p50 = %v, want 3", p50)
+	}
+	q50, q95, q99 := c.TurnaroundQuantiles()
+	if q50 != ts.P50 || q95 != ts.P95 || q99 != ts.P99 {
+		t.Fatalf("turnaround quantiles (%v,%v,%v) vs %+v", q50, q95, q99, ts)
+	}
+}
+
 func TestQuantileMonotone(t *testing.T) {
 	s := Summarize([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
 	if !(s.P50 <= s.P90 && s.P90 <= s.P95 && s.P95 <= s.P99 && s.P99 <= s.Max) {

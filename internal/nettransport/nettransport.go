@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -46,6 +47,72 @@ type Host struct {
 	handlers map[string]transport.Handler
 	closed   bool
 	wg       sync.WaitGroup
+
+	obsv atomic.Pointer[rpcObs]
+}
+
+// rpcObs holds the transport's resolved instruments plus a per-method
+// cache, so the per-call hot path is two sync.Map loads rather than
+// registry lookups that re-render labeled metric names.
+type rpcObs struct {
+	reg      *obs.Registry
+	client   sync.Map // method -> *methodObs
+	server   sync.Map // method -> *methodObs
+	bytesIn  *obs.Counter
+	bytesOut *obs.Counter
+}
+
+type methodObs struct {
+	calls *obs.Counter
+	errs  *obs.Counter
+	secs  *obs.Histogram
+}
+
+func (ro *rpcObs) method(cache *sync.Map, side, method string) *methodObs {
+	if m, ok := cache.Load(method); ok {
+		return m.(*methodObs)
+	}
+	m := &methodObs{
+		calls: ro.reg.Counter("rpc_"+side+"_calls_total", "method", method),
+		errs:  ro.reg.Counter("rpc_"+side+"_errors_total", "method", method),
+		secs:  ro.reg.Histogram("rpc_"+side+"_seconds", obs.DefBucketsSeconds, "method", method),
+	}
+	actual, _ := cache.LoadOrStore(method, m)
+	return actual.(*methodObs)
+}
+
+// SetObs attaches an observability sink: per-method client/server call
+// counts, error counts, latency histograms, and total bytes moved in
+// each direction. Passing nil detaches. Safe to call at any time.
+func (h *Host) SetObs(o *obs.Obs) {
+	reg := o.Registry()
+	if reg == nil {
+		h.obsv.Store(nil)
+		return
+	}
+	h.obsv.Store(&rpcObs{
+		reg:      reg,
+		bytesIn:  reg.Counter("rpc_bytes_total", "dir", "in"),
+		bytesOut: reg.Counter("rpc_bytes_total", "dir", "out"),
+	})
+}
+
+// countingConn counts bytes crossing a net.Conn into obs counters.
+type countingConn struct {
+	net.Conn
+	in, out *obs.Counter
+}
+
+func (c *countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.in.Add(int64(n))
+	return n, err
+}
+
+func (c *countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.out.Add(int64(n))
+	return n, err
 }
 
 // Listen binds a host to a TCP address ("127.0.0.1:0" picks a free
@@ -134,6 +201,10 @@ func (h *Host) acceptLoop() {
 func (h *Host) serveConn(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	ro := h.obsv.Load()
+	if ro != nil {
+		conn = &countingConn{Conn: conn, in: ro.bytesIn, out: ro.bytesOut}
+	}
 	dec := gob.NewDecoder(conn)
 	enc := gob.NewEncoder(conn)
 	var env envelope
@@ -147,6 +218,13 @@ func (h *Host) serveConn(conn net.Conn) {
 	if closed {
 		return
 	}
+	var mo *methodObs
+	var began time.Time
+	if ro != nil {
+		mo = ro.method(&ro.server, "server", env.Method)
+		mo.calls.Inc()
+		began = time.Now()
+	}
 	var rep reply
 	if !ok {
 		rep = reply{ErrMsg: env.Method, ErrKind: 1}
@@ -156,6 +234,12 @@ func (h *Host) serveConn(conn net.Conn) {
 			rep = reply{ErrMsg: err.Error(), ErrKind: 2}
 		} else {
 			rep = reply{Payload: resp}
+		}
+	}
+	if mo != nil {
+		mo.secs.Observe(time.Since(began).Seconds())
+		if rep.ErrKind != 0 {
+			mo.errs.Inc()
 		}
 	}
 	_ = enc.Encode(&rep)
@@ -179,9 +263,18 @@ func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.
 	if !r.h.Up() {
 		return nil, transport.ErrDown
 	}
+	var mo *methodObs
+	ro := r.h.obsv.Load()
+	if ro != nil {
+		mo = ro.method(&ro.client, "client", method)
+		mo.calls.Inc()
+		began := time.Now()
+		defer func() { mo.secs.Observe(time.Since(began).Seconds()) }()
+	}
 	deadline := time.Now().Add(timeout)
 	conn, err := net.DialTimeout("tcp", string(to), timeout)
 	if err != nil {
+		mo.errCount()
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
 			return nil, transport.ErrTimeout
@@ -189,14 +282,19 @@ func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.
 		return nil, transport.ErrUnreachable
 	}
 	defer conn.Close()
+	if ro != nil {
+		conn = &countingConn{Conn: conn, in: ro.bytesIn, out: ro.bytesOut}
+	}
 	_ = conn.SetDeadline(deadline)
 	enc := gob.NewEncoder(conn)
 	dec := gob.NewDecoder(conn)
 	if err := enc.Encode(&envelope{Method: method, From: string(r.h.addr), Payload: req}); err != nil {
+		mo.errCount()
 		return nil, fmt.Errorf("%w: send: %v", transport.ErrUnreachable, err)
 	}
 	var rep reply
 	if err := dec.Decode(&rep); err != nil {
+		mo.errCount()
 		var nerr net.Error
 		if errors.As(err, &nerr) && nerr.Timeout() {
 			return nil, transport.ErrTimeout
@@ -205,9 +303,19 @@ func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.
 	}
 	switch rep.ErrKind {
 	case 1:
+		mo.errCount()
 		return nil, fmt.Errorf("%w: %s on %s", transport.ErrNoHandler, rep.ErrMsg, to)
 	case 2:
+		mo.errCount()
 		return nil, errors.New(rep.ErrMsg)
 	}
 	return rep.Payload, nil
+}
+
+// errCount increments the method's error counter; nil-safe so call
+// sites need no obs-enabled guard.
+func (m *methodObs) errCount() {
+	if m != nil {
+		m.errs.Inc()
+	}
 }

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+// The registry sits on protocol hot paths (every heartbeat, RPC, and
+// execution slice), so the uncontended instrument cost must stay under
+// 100 ns/op — see EXPERIMENTS.md §obs for recorded numbers.
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncNil(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench_total")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkGaugeSet(b *testing.B) {
+	g := NewRegistry().Gauge("bench_gauge")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g.Set(float64(i))
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_seconds", DefBucketsSeconds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%300) * 0.01)
+	}
+}
+
+func BenchmarkHistogramObserveNil(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkTracerRecord(b *testing.B) {
+	tr := NewTracer()
+	tc := TC{ID: ids.HashString("bench")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tc = tr.Record(tc, time.Duration(i), "n1", "stage", 0, "", "")
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// EventHub fans structured events out to subscribers as JSON lines —
+// the backend of the /events stream. Publishing never blocks: slow
+// subscribers drop lines (each subscription counts its drops), so the
+// hub can sit on protocol hot paths without back-pressuring them.
+type EventHub struct {
+	mu      sync.Mutex
+	nextID  int
+	subs    map[int]*subscription
+	backlog [][]byte // ring of recent lines for late subscribers
+	head    int
+	filled  bool
+}
+
+const hubBacklog = 256
+
+type subscription struct {
+	ch      chan []byte
+	dropped int64
+}
+
+// NewEventHub returns an empty hub.
+func NewEventHub() *EventHub {
+	return &EventHub{subs: make(map[int]*subscription), backlog: make([][]byte, hubBacklog)}
+}
+
+// Publish marshals v as one JSON line and delivers it to every
+// subscriber. Marshal failures are dropped silently (observability
+// must never error into the caller). Nil hubs no-op.
+func (h *EventHub) Publish(v any) {
+	if h == nil {
+		return
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	b = append(b, '\n')
+	h.mu.Lock()
+	h.backlog[h.head] = b
+	h.head = (h.head + 1) % len(h.backlog)
+	if h.head == 0 {
+		h.filled = true
+	}
+	for _, s := range h.subs {
+		select {
+		case s.ch <- b:
+		default:
+			s.dropped++
+		}
+	}
+	h.mu.Unlock()
+}
+
+// Subscribe registers a consumer. The returned channel first receives
+// the retained backlog, then live lines; cancel unregisters and closes
+// it. buffer sizes the channel (min 16).
+func (h *EventHub) Subscribe(buffer int) (<-chan []byte, func()) {
+	if h == nil {
+		ch := make(chan []byte)
+		close(ch)
+		return ch, func() {}
+	}
+	if buffer < 16 {
+		buffer = 16
+	}
+	h.mu.Lock()
+	id := h.nextID
+	h.nextID++
+	// Backlog replay: oldest first.
+	var replay [][]byte
+	if h.filled {
+		replay = append(replay, h.backlog[h.head:]...)
+	}
+	replay = append(replay, h.backlog[:h.head]...)
+	s := &subscription{ch: make(chan []byte, buffer+len(replay))}
+	for _, line := range replay {
+		if line != nil {
+			s.ch <- line
+		}
+	}
+	h.subs[id] = s
+	h.mu.Unlock()
+
+	cancel := func() {
+		h.mu.Lock()
+		if cur, ok := h.subs[id]; ok && cur == s {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+		h.mu.Unlock()
+	}
+	return s.ch, cancel
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler builds the node-local observability endpoint:
+//
+//	/metrics      Prometheus text exposition of the registry
+//	/events       JSONL structured-event stream (long-lived response)
+//	/debug/pprof  the standard Go profiler surface
+//	/healthz      liveness probe
+func Handler(o *Obs) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		o.Registry().WritePrometheus(w)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fl, canFlush := w.(http.Flusher)
+		ch, cancel := o.GetHub().Subscribe(256)
+		defer cancel()
+		for {
+			select {
+			case line, ok := <-ch:
+				if !ok {
+					return
+				}
+				if _, err := w.Write(line); err != nil {
+					return
+				}
+				if canFlush {
+					fl.Flush()
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the observability HTTP endpoint on addr in the
+// background and returns the server (Close to stop) and the bound
+// address (addr may use port 0).
+func Serve(addr string, o *Obs) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(o)}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

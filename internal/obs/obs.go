@@ -1,0 +1,54 @@
+// Package obs is the live observability layer: a lock-cheap metrics
+// registry (counters, gauges, fixed-bucket histograms with Prometheus
+// text exposition), a causal job tracer whose context propagates across
+// nodes on wire messages, and a JSONL structured-event hub backing the
+// /events stream.
+//
+// Trace-neutrality invariant: nothing in this package may feed back
+// into protocol decisions. Every operation is a synchronous in-memory
+// update — no sleeps, no RPCs, no use of a Runtime's random stream — so
+// attaching observability to a deterministic simulation leaves its
+// event trace byte-identical (enforced by the soak regression tests in
+// internal/grid). All instrument methods are nil-receiver safe: code
+// instruments unconditionally and a nil *Obs (observability off) makes
+// every call a cheap no-op.
+package obs
+
+// Obs bundles one node's observability facilities. A nil *Obs disables
+// observability; the accessors below then return nil facilities whose
+// methods all no-op.
+type Obs struct {
+	Reg    *Registry
+	Tracer *Tracer
+	Hub    *EventHub
+}
+
+// New returns a fully enabled observability bundle.
+func New() *Obs {
+	return &Obs{Reg: NewRegistry(), Tracer: NewTracer(), Hub: NewEventHub()}
+}
+
+// Registry returns the metrics registry, nil when observability is off.
+func (o *Obs) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Reg
+}
+
+// GetTracer returns the job tracer, nil when observability is off.
+func (o *Obs) GetTracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// GetHub returns the structured-event hub, nil when observability is
+// off.
+func (o *Obs) GetHub() *EventHub {
+	if o == nil {
+		return nil
+	}
+	return o.Hub
+}

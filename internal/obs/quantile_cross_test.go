@@ -1,0 +1,50 @@
+package obs_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// TestHistogramQuantileVsExact cross-checks the bucketed quantile
+// estimate served on /metrics against the exact-sample quantile the
+// offline metrics package computes. The bucketed estimate can only be
+// off by the width of the bucket the quantile lands in.
+func TestHistogramQuantileVsExact(t *testing.T) {
+	bounds := []float64{0.5, 1, 2, 4, 8, 16, 32, 64}
+	reg := obs.NewRegistry()
+	h := reg.Histogram("cross_check", bounds)
+
+	rng := rand.New(rand.NewSource(11))
+	var xs []float64
+	for i := 0; i < 5000; i++ {
+		// Log-uniform over (0.1, ~50): exercises several buckets.
+		x := 0.1 * math.Pow(2, rng.Float64()*9)
+		xs = append(xs, x)
+		h.Observe(x)
+	}
+
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		exact := metrics.Quantile(xs, q)
+		est := h.Quantile(q)
+		lo, hi := bucketAround(bounds, exact)
+		if est < lo || est > hi {
+			t.Errorf("q=%.2f: bucketed %v outside bucket [%v, %v] of exact %v", q, est, lo, hi, exact)
+		}
+	}
+}
+
+// bucketAround returns the bounds of the histogram bucket containing v.
+func bucketAround(bounds []float64, v float64) (lo, hi float64) {
+	lo = 0
+	for _, b := range bounds {
+		if v <= b {
+			return lo, b
+		}
+		lo = b
+	}
+	return lo, lo * 2 // overflow bucket: estimate clamps near the last bound
+}

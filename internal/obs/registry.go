@@ -1,0 +1,449 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil *Counter no-ops, so call sites instrument
+// unconditionally and pay one predictable branch when observability is
+// off.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be non-negative; counters never decrease).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets defined by sorted
+// upper bounds (an implicit +Inf bucket catches the tail). Observation
+// is a linear scan over the bounds plus three atomic updates — bounded,
+// allocation-free, and lock-free.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; cumulative only at render
+	n       atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// DefBucketsSeconds suits latencies from milliseconds to minutes.
+var DefBucketsSeconds = []float64{.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+
+// DefBucketsHops suits overlay hop and visit counts.
+var DefBucketsHops = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128}
+
+// newHistogram copies bounds (which must be sorted ascending).
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.n.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// N returns the observation count.
+func (h *Histogram) N() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.n.Load()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) by linear
+// interpolation inside the bucket where the cumulative count crosses
+// q*N. Resolution is bounded by bucket width; values beyond the last
+// finite bound report that bound. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.n.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c == 0 {
+			cum += c
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// +Inf bucket: the best point estimate is the last
+				// finite bound.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// gaugeFn is a pull-evaluated gauge (sampled only at scrape time, so it
+// can read live state like a queue length without push-side cost).
+type gaugeFn func() float64
+
+// Registry holds named metrics. Names follow the Prometheus data
+// model: an optional brace-delimited label set after the family name
+// (built by the variadic label pairs on the getters). Getters are
+// get-or-create and idempotent; call sites resolve instruments once and
+// keep the pointer, so the hot path never touches the registry map. A
+// nil *Registry returns nil instruments throughout.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	gaugeFns map[string]gaugeFn
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		gaugeFns: make(map[string]gaugeFn),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// metricName renders name{k1="v1",k2="v2"} from label pairs.
+func metricName(name string, labels []string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list for %s: %v", name, labels))
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", labels[i], labels[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	full := metricName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[full]
+	if !ok {
+		c = &Counter{}
+		r.counters[full] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	full := metricName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[full]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[full] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a pull-evaluated gauge; fn runs at scrape time.
+// Re-registering a name replaces the function (last wins — shared
+// registries in multi-node tests overwrite harmlessly).
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	if r == nil || fn == nil {
+		return
+	}
+	full := metricName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFns[full] = fn
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	full := metricName(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[full]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[full] = h
+	}
+	return h
+}
+
+// Sample is one rendered metric value (histograms expand to _count,
+// _sum, and quantile point estimates).
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Snapshot renders every metric as flat samples sorted by name — the
+// payload of the grid.stats RPC.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	fns := make(map[string]gaugeFn, len(r.gaugeFns))
+	for k, v := range r.gaugeFns {
+		fns[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	var out []Sample
+	for k, c := range counters {
+		out = append(out, Sample{k, float64(c.Value())})
+	}
+	for k, g := range gauges {
+		out = append(out, Sample{k, g.Value()})
+	}
+	for k, fn := range fns {
+		out = append(out, Sample{k, fn()})
+	}
+	for k, h := range hists {
+		out = append(out,
+			Sample{k + "_count", float64(h.N())},
+			Sample{k + "_sum", h.Sum()},
+			Sample{k + "_p50", h.Quantile(0.50)},
+			Sample{k + "_p95", h.Quantile(0.95)},
+			Sample{k + "_p99", h.Quantile(0.99)},
+		)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// family splits a full metric name into its family and the label body
+// (without braces); labels is empty when the name carries none.
+func family(full string) (fam, labels string) {
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:i], strings.TrimSuffix(full[i+1:], "}")
+	}
+	return full, ""
+}
+
+// withLabel appends one more label to a rendered name.
+func withLabel(fam, labels, k, v string) string {
+	lbl := fmt.Sprintf("%s=%q", k, v)
+	if labels != "" {
+		lbl = labels + "," + lbl
+	}
+	return fam + "{" + lbl + "}"
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format, sorted by name for stable scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	type hline struct {
+		name string
+		h    *Histogram
+	}
+	lines := make(map[string]string) // full sample name -> rendered line(s)
+	types := make(map[string]string) // family -> TYPE
+	for k, c := range r.counters {
+		fam, _ := family(k)
+		types[fam] = "counter"
+		lines[k] = fmt.Sprintf("%s %d\n", k, c.Value())
+	}
+	for k, g := range r.gauges {
+		fam, _ := family(k)
+		types[fam] = "gauge"
+		lines[k] = fmt.Sprintf("%s %v\n", k, g.Value())
+	}
+	var fnNames []string
+	fns := make(map[string]gaugeFn)
+	for k, fn := range r.gaugeFns {
+		fnNames = append(fnNames, k)
+		fns[k] = fn
+	}
+	var hl []hline
+	for k, h := range r.hists {
+		hl = append(hl, hline{k, h})
+	}
+	r.mu.Unlock()
+
+	// Gauge functions and histogram renders happen outside the registry
+	// lock: fns may read arbitrary live state.
+	for _, k := range fnNames {
+		fam, _ := family(k)
+		types[fam] = "gauge"
+		lines[k] = fmt.Sprintf("%s %v\n", k, fns[k]())
+	}
+	for _, e := range hl {
+		fam, labels := family(e.name)
+		types[fam] = "histogram"
+		var b strings.Builder
+		var cum int64
+		for i, bound := range e.h.bounds {
+			cum += e.h.counts[i].Load()
+			fmt.Fprintf(&b, "%s %d\n", withLabel(fam+"_bucket", labels, "le", trimFloat(bound)), cum)
+		}
+		cum += e.h.counts[len(e.h.bounds)].Load()
+		fmt.Fprintf(&b, "%s %d\n", withLabel(fam+"_bucket", labels, "le", "+Inf"), cum)
+		fmt.Fprintf(&b, "%s %v\n", metricName(fam+"_sum", nil)+bracesOf(labels), e.h.Sum())
+		fmt.Fprintf(&b, "%s %d\n", metricName(fam+"_count", nil)+bracesOf(labels), e.h.N())
+		lines[e.name] = b.String()
+	}
+
+	names := make([]string, 0, len(lines))
+	for k := range lines {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	emitted := make(map[string]bool)
+	for _, k := range names {
+		fam, _ := family(k)
+		if !emitted[fam] {
+			emitted[fam] = true
+			fmt.Fprintf(w, "# TYPE %s %s\n", fam, types[fam])
+		}
+		io.WriteString(w, lines[k])
+	}
+}
+
+func bracesOf(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// trimFloat renders a bucket bound the way Prometheus expects
+// (shortest decimal; %g is already minimal).
+func trimFloat(f float64) string {
+	return fmt.Sprintf("%g", f)
+}

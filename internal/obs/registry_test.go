@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("jobs_total") != c {
+		t.Fatalf("counter getter not idempotent")
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Fatal("nil counter should stay 0")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	h := r.Histogram("z", DefBucketsSeconds)
+	h.Observe(1)
+	if h.N() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram should stay empty")
+	}
+	r.GaugeFunc("f", func() float64 { return 1 })
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot should be nil")
+	}
+	var o *Obs
+	if o.Registry() != nil || o.GetTracer() != nil || o.GetHub() != nil {
+		t.Fatal("nil Obs accessors must return nil")
+	}
+}
+
+func TestCounterLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rpc_total", "method", "grid.assign").Add(2)
+	r.Counter("rpc_total", "method", "grid.own").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE rpc_total counter",
+		`rpc_total{method="grid.assign"} 2`,
+		`rpc_total{method="grid.own"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family, not per labeled child.
+	if strings.Count(out, "# TYPE rpc_total") != 1 {
+		t.Fatalf("duplicated TYPE line:\n%s", out)
+	}
+}
+
+func TestHistogramObserveAndExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("wait_seconds", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1.5, 1.6, 4, 100} {
+		h.Observe(v)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d, want 5", h.N())
+	}
+	if math.Abs(h.Sum()-107.6) > 1e-9 {
+		t.Fatalf("Sum = %v, want 107.6", h.Sum())
+	}
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE wait_seconds histogram",
+		`wait_seconds_bucket{le="1"} 1`,
+		`wait_seconds_bucket{le="2"} 3`,
+		`wait_seconds_bucket{le="5"} 4`,
+		`wait_seconds_bucket{le="+Inf"} 5`,
+		"wait_seconds_sum 107.6",
+		"wait_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := newHistogram([]float64{10, 20, 30, 40, 50})
+	// Uniform 1..50: quantiles should land near q*50 within one bucket.
+	for i := 1; i <= 50; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 25, 10},
+		{0.9, 45, 10},
+		{0.99, 50, 10},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("Quantile(%v) = %v, want %v±%v", c.q, got, c.want, c.tol)
+		}
+	}
+	// Tail beyond the last finite bound reports that bound.
+	h2 := newHistogram([]float64{1})
+	h2.Observe(99)
+	if got := h2.Quantile(0.5); got != 1 {
+		t.Errorf("overflow quantile = %v, want 1", got)
+	}
+	var empty *Histogram
+	if empty.Quantile(0.5) != 0 {
+		t.Error("nil histogram quantile should be 0")
+	}
+}
+
+func TestGaugeFuncAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	depth := 7
+	r.GaugeFunc("queue_depth", func() float64 { return float64(depth) })
+	r.Counter("c").Add(3)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	got := make(map[string]float64)
+	for _, s := range snap {
+		got[s.Name] = s.Value
+	}
+	if got["queue_depth"] != 7 || got["c"] != 3 || got["lat_count"] != 2 {
+		t.Fatalf("snapshot wrong: %+v", got)
+	}
+	for i := 1; i < len(snap); i++ {
+		if snap[i-1].Name > snap[i].Name {
+			t.Fatalf("snapshot not sorted: %q > %q", snap[i-1].Name, snap[i].Name)
+		}
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	h := r.Histogram("h", DefBucketsHops)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i % 64))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.N() != 8000 {
+		t.Fatalf("lost updates: counter=%d hist=%d", c.Value(), h.N())
+	}
+}

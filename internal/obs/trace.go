@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// TC is the trace context propagated on wire messages: the trace
+// identifier (a job lineage's attempt-0 GUID, stable across
+// resubmissions) and a per-trace Lamport hop counter. Node clocks in a
+// live deployment measure time since their own process start and are
+// not comparable across hosts, so cross-node ordering of a job's
+// lifecycle rests on Hop: every traced node merges the incoming hop
+// into its local counter and stamps events past it. Protocol handlers
+// must never branch on TC — it is carried, recorded, and forwarded,
+// nothing else (the trace-neutrality invariant).
+type TC struct {
+	ID  ids.ID
+	Hop uint32
+}
+
+// Zero reports whether the context names no trace.
+func (tc TC) Zero() bool { return tc.ID.IsZero() }
+
+// TraceEvent is one lifecycle step observed at one node.
+type TraceEvent struct {
+	Trace   ids.ID
+	Hop     uint32
+	At      time.Duration // the observing node's local clock
+	Node    transport.Addr
+	Stage   string
+	Attempt int
+	Peer    transport.Addr // counterpart node, if any
+	Note    string
+}
+
+// traceRec is the per-trace buffer plus its Lamport clock.
+type traceRec struct {
+	lamport uint32
+	evs     []TraceEvent
+	peers   map[transport.Addr]bool
+}
+
+// Tracer holds a node's local view of recent job traces: a bounded map
+// of per-trace event buffers. Remote reconstruction (gridctl trace)
+// pulls these buffers over the grid.trace RPC and walks the peer set to
+// closure — the tracer itself never sends anything.
+type Tracer struct {
+	mu       sync.Mutex
+	maxTrace int
+	maxEvs   int
+	traces   map[ids.ID]*traceRec
+	order    []ids.ID // insertion order for FIFO eviction
+}
+
+// NewTracer returns a tracer retaining up to 1024 traces of up to 512
+// events each.
+func NewTracer() *Tracer {
+	return &Tracer{maxTrace: 1024, maxEvs: 512, traces: make(map[ids.ID]*traceRec)}
+}
+
+func (t *Tracer) recLocked(id ids.ID) *traceRec {
+	rec, ok := t.traces[id]
+	if ok {
+		return rec
+	}
+	if len(t.order) >= t.maxTrace {
+		evict := t.order[0]
+		t.order = t.order[1:]
+		delete(t.traces, evict)
+	}
+	rec = &traceRec{peers: make(map[transport.Addr]bool)}
+	t.traces[id] = rec
+	t.order = append(t.order, id)
+	return rec
+}
+
+// Record notes one lifecycle step observed at node and returns the
+// context to propagate on any message this step causes. A nil tracer
+// or zero context passes tc through unchanged, so hop numbering
+// survives untraced intermediaries as far as the wire carries it.
+func (t *Tracer) Record(tc TC, at time.Duration, node transport.Addr, stage string, attempt int, peer transport.Addr, note string) TC {
+	if t == nil || tc.ID.IsZero() {
+		return tc
+	}
+	t.mu.Lock()
+	rec := t.recLocked(tc.ID)
+	if tc.Hop > rec.lamport {
+		rec.lamport = tc.Hop
+	}
+	rec.lamport++
+	if len(rec.evs) < t.maxEvs {
+		rec.evs = append(rec.evs, TraceEvent{
+			Trace: tc.ID, Hop: rec.lamport, At: at, Node: node,
+			Stage: stage, Attempt: attempt, Peer: peer, Note: note,
+		})
+	}
+	if peer != "" && peer != node {
+		rec.peers[peer] = true
+	}
+	out := TC{ID: tc.ID, Hop: rec.lamport}
+	t.mu.Unlock()
+	return out
+}
+
+// Context returns the current propagation context for a trace without
+// recording an event (outgoing messages not tied to a new step).
+func (t *Tracer) Context(id ids.ID) TC {
+	if t == nil {
+		return TC{ID: id}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rec, ok := t.traces[id]; ok {
+		return TC{ID: id, Hop: rec.lamport}
+	}
+	return TC{ID: id}
+}
+
+// Get returns this node's events for a trace, sorted by hop then local
+// time, plus the peer addresses seen in the trace's context — the seed
+// set a cross-node reconstruction walks next.
+func (t *Tracer) Get(id ids.ID) ([]TraceEvent, []transport.Addr) {
+	if t == nil {
+		return nil, nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	rec, ok := t.traces[id]
+	if !ok {
+		return nil, nil
+	}
+	evs := append([]TraceEvent(nil), rec.evs...)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].Hop != evs[j].Hop {
+			return evs[i].Hop < evs[j].Hop
+		}
+		return evs[i].At < evs[j].At
+	})
+	peers := make([]transport.Addr, 0, len(rec.peers))
+	for p := range rec.peers {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	return evs, peers
+}
+
+// Traces returns the identifiers currently retained, newest last.
+func (t *Tracer) Traces() []ids.ID {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]ids.ID(nil), t.order...)
+}
+
+// MergeSort orders events gathered from several nodes into one causal
+// timeline: by Lamport hop, then by stage name and node for a stable
+// tie-break (local clocks are not comparable across nodes).
+func MergeSort(evs []TraceEvent) []TraceEvent {
+	out := append([]TraceEvent(nil), evs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Hop != out[j].Hop {
+			return out[i].Hop < out[j].Hop
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Stage < out[j].Stage
+	})
+	return out
+}

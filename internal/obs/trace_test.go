@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+)
+
+func TestTracerLamportOrdering(t *testing.T) {
+	// Three nodes with incomparable clocks; the propagated context must
+	// order the lifecycle regardless.
+	client, owner, run := NewTracer(), NewTracer(), NewTracer()
+	id := ids.HashString("job")
+
+	tc := TC{ID: id}
+	tc = client.Record(tc, 5*time.Second, "client:1", "submitted", 0, "", "")
+	tc = client.Record(tc, 5*time.Second, "client:1", "injected", 0, "owner:1", "")
+	// Owner's clock reads far earlier than the client's.
+	tc = owner.Record(tc, 100*time.Millisecond, "owner:1", "owned", 0, "", "")
+	tc = owner.Record(tc, 200*time.Millisecond, "owner:1", "matched", 0, "run:1", "")
+	tc = run.Record(tc, 9*time.Hour, "run:1", "started", 0, "", "")
+
+	var all []TraceEvent
+	for _, tr := range []*Tracer{client, owner, run} {
+		evs, _ := tr.Get(id)
+		all = append(all, evs...)
+	}
+	merged := MergeSort(all)
+	wantStages := []string{"submitted", "injected", "owned", "matched", "started"}
+	if len(merged) != len(wantStages) {
+		t.Fatalf("got %d events, want %d", len(merged), len(wantStages))
+	}
+	for i, ev := range merged {
+		if ev.Stage != wantStages[i] {
+			t.Fatalf("event %d = %q, want %q (merged order %+v)", i, ev.Stage, wantStages[i], merged)
+		}
+		if ev.Hop != uint32(i+1) {
+			t.Fatalf("event %q hop = %d, want %d", ev.Stage, ev.Hop, i+1)
+		}
+	}
+}
+
+func TestTracerPeersAndContext(t *testing.T) {
+	tr := NewTracer()
+	id := ids.HashString("j")
+	tc := tr.Record(TC{ID: id}, 0, "a:1", "injected", 0, "b:1", "")
+	tr.Record(tc, 0, "a:1", "matched", 0, "c:1", "")
+	_, peers := tr.Get(id)
+	if len(peers) != 2 || peers[0] != "b:1" || peers[1] != "c:1" {
+		t.Fatalf("peers = %v, want [b:1 c:1]", peers)
+	}
+	if got := tr.Context(id); got.Hop != 2 {
+		t.Fatalf("Context hop = %d, want 2", got.Hop)
+	}
+	// Unknown trace: zero-hop context, no events.
+	other := ids.HashString("other")
+	if got := tr.Context(other); got.Hop != 0 || got.ID != other {
+		t.Fatalf("unknown Context = %+v", got)
+	}
+	if evs, _ := tr.Get(other); evs != nil {
+		t.Fatalf("unknown Get = %v, want nil", evs)
+	}
+}
+
+func TestTracerNilAndZeroContext(t *testing.T) {
+	var tr *Tracer
+	tc := TC{ID: ids.HashString("x"), Hop: 7}
+	if got := tr.Record(tc, 0, "n", "s", 0, "", ""); got != tc {
+		t.Fatalf("nil tracer must pass context through, got %+v", got)
+	}
+	if got := tr.Context(tc.ID); got.ID != tc.ID || got.Hop != 0 {
+		t.Fatalf("nil tracer Context = %+v", got)
+	}
+	live := NewTracer()
+	if got := live.Record(TC{}, 0, "n", "s", 0, "", ""); !got.Zero() {
+		t.Fatalf("zero context must stay zero, got %+v", got)
+	}
+	if len(live.Traces()) != 0 {
+		t.Fatal("zero context must not create a trace")
+	}
+}
+
+func TestTracerEviction(t *testing.T) {
+	tr := &Tracer{maxTrace: 2, maxEvs: 2, traces: make(map[ids.ID]*traceRec)}
+	a, b, c := ids.HashString("a"), ids.HashString("b"), ids.HashString("c")
+	tr.Record(TC{ID: a}, 0, "n", "s1", 0, "", "")
+	tr.Record(TC{ID: a}, 0, "n", "s2", 0, "", "")
+	tr.Record(TC{ID: a}, 0, "n", "s3", 0, "", "") // over maxEvs: dropped
+	tr.Record(TC{ID: b}, 0, "n", "s", 0, "", "")
+	tr.Record(TC{ID: c}, 0, "n", "s", 0, "", "") // evicts a
+	if evs, _ := tr.Get(a); evs != nil {
+		t.Fatalf("trace a should be evicted, got %v", evs)
+	}
+	if evs, _ := tr.Get(b); len(evs) != 1 {
+		t.Fatalf("trace b missing: %v", evs)
+	}
+	if got := tr.Traces(); len(got) != 2 {
+		t.Fatalf("retained = %v, want 2 traces", got)
+	}
+}
+
+func TestEventHubPublishSubscribe(t *testing.T) {
+	h := NewEventHub()
+	h.Publish(map[string]any{"kind": "backlog"})
+	ch, cancel := h.Subscribe(16)
+	defer cancel()
+	if line := <-ch; string(line) != "{\"kind\":\"backlog\"}\n" {
+		t.Fatalf("backlog line = %q", line)
+	}
+	h.Publish(struct {
+		Kind string `json:"kind"`
+	}{"live"})
+	if line := <-ch; string(line) != "{\"kind\":\"live\"}\n" {
+		t.Fatalf("live line = %q", line)
+	}
+	cancel()
+	if _, ok := <-ch; ok {
+		t.Fatal("channel should close after cancel")
+	}
+	// Publishing to a cancelled hub and nil hub must not panic.
+	h.Publish("x")
+	var nilHub *EventHub
+	nilHub.Publish("y")
+}

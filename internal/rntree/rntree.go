@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/chord"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/transport"
 )
@@ -49,6 +50,10 @@ type Config struct {
 	// Chord ownership even when pushes succeed (default 15 s); between
 	// refreshes the cached parent is reused.
 	ParentRefreshEvery time.Duration
+	// Obs, when non-nil, receives search metrics (visit/escalation/walk
+	// histograms and counters). Purely observational: no search decision
+	// reads it.
+	Obs *obs.Obs
 }
 
 func (c Config) withDefaults() Config {
@@ -214,6 +219,13 @@ type Node struct {
 	children map[transport.Addr]*childEntry
 	loadFn   func() int
 	started  bool
+
+	// Resolved obs instruments (nil-safe when cfg.Obs is nil).
+	mSearches    *obs.Counter
+	mNoCandidate *obs.Counter
+	mVisits      *obs.Histogram
+	mEscalations *obs.Histogram
+	mWalkHops    *obs.Histogram
 }
 
 // New creates an RN-Tree node over ch, advertising the given
@@ -227,6 +239,13 @@ func New(host transport.Host, ch *chord.Node, caps resource.Vector, os string, c
 		os:       os,
 		children: make(map[transport.Addr]*childEntry),
 		loadFn:   func() int { return 0 },
+	}
+	if reg := n.cfg.Obs.Registry(); reg != nil {
+		n.mSearches = reg.Counter("rntree_searches_total")
+		n.mNoCandidate = reg.Counter("rntree_search_no_candidate_total")
+		n.mVisits = reg.Histogram("rntree_search_visits", obs.DefBucketsHops)
+		n.mEscalations = reg.Histogram("rntree_search_escalations", obs.DefBucketsHops)
+		n.mWalkHops = reg.Histogram("rntree_walk_hops", obs.DefBucketsHops)
 	}
 	host.Handle(MUpdate, n.handleUpdate)
 	host.Handle(MSearch, n.handleSearch)
@@ -402,6 +421,7 @@ func (n *Node) RandomWalkFrom(rt transport.Runtime, start chord.Ref) (chord.Ref,
 		}
 		cur = next
 	}
+	n.mWalkHops.Observe(float64(hops))
 	return cur, hops
 }
 
@@ -470,7 +490,11 @@ func (n *Node) FindCandidates(rt transport.Runtime, cons resource.Constraints, k
 		}
 		cur = parent
 	}
+	n.mSearches.Inc()
+	n.mVisits.Observe(float64(stats.Visits))
+	n.mEscalations.Observe(float64(stats.Escalations))
 	if len(cands) == 0 {
+		n.mNoCandidate.Inc()
 		return nil, stats, fmt.Errorf("%w: %s", ErrNoCandidate, cons)
 	}
 	return cands, stats, nil

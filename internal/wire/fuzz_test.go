@@ -5,6 +5,11 @@ import (
 	"encoding/gob"
 	"reflect"
 	"testing"
+
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 // encode produces the exact byte stream a live RPC payload puts on the
@@ -27,6 +32,29 @@ func encode(t testing.TB, v any) []byte {
 // round trip unchanged.
 func FuzzWireDecode(f *testing.F) {
 	for _, msg := range Messages() {
+		f.Add(encode(f, msg))
+	}
+	// Seed trace-context-bearing encodings too: zero-value seeds omit
+	// the TC fields entirely under gob's delta encoding, so mutations
+	// would never reach the trace-propagation surface without these.
+	tc := obs.TC{ID: grid.TraceID("fuzz:1", 1), Hop: 3}
+	for _, msg := range []any{
+		grid.InjectReq{Client: "fuzz:1", Seq: 1, TC: tc},
+		grid.OwnReq{Prof: grid.Profile{ID: ids.HashString("fz")}, TC: tc},
+		grid.AssignReq{Owner: "fuzz:1", TC: tc},
+		grid.CompleteReq{JobID: ids.HashString("fz"), Run: "fuzz:2", TC: tc},
+		grid.ResultReq{Res: grid.Result{JobID: ids.HashString("fz")}, TC: tc},
+		grid.RelayReq{Res: grid.Result{JobID: ids.HashString("fz")}, TC: tc},
+		grid.AdoptReq{Prof: grid.Profile{ID: ids.HashString("fz")}, Run: "fuzz:2", TC: tc},
+		grid.CheckpointReq{Run: "fuzz:2", Ckpt: grid.Checkpoint{JobID: ids.HashString("fz")}, TC: tc},
+		grid.StatusReq{JobID: ids.HashString("fz"), TC: tc},
+		grid.TraceReq{Trace: tc.ID},
+		grid.TraceResp{
+			Events: []obs.TraceEvent{{Trace: tc.ID, Hop: 1, Node: "fuzz:1", Stage: "submitted"}},
+			Peers:  []transport.Addr{"fuzz:2"},
+		},
+		grid.StatsResp{Stats: grid.NodeStats{Addr: "fuzz:1", Samples: []obs.Sample{{Name: "m", Value: 1}}}},
+	} {
 		f.Add(encode(f, msg))
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {

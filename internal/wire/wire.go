@@ -51,6 +51,7 @@ func Messages() []any {
 		grid.StatusReq{}, grid.StatusResp{},
 		grid.CheckpointReq{}, grid.CheckpointResp{},
 		grid.ProbeJobReq{}, grid.ProbeJobResp{}, grid.TrustReq{}, grid.TrustResp{},
+		grid.StatsReq{}, grid.StatsResp{}, grid.TraceReq{}, grid.TraceResp{},
 		// match
 		match.ProbeReq{}, match.ProbeResp{},
 	}

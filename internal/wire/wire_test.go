@@ -8,6 +8,7 @@ import (
 	"repro/internal/chord"
 	"repro/internal/grid"
 	"repro/internal/ids"
+	"repro/internal/obs"
 	"repro/internal/resource"
 	"repro/internal/rntree"
 	"repro/internal/transport"
@@ -87,6 +88,35 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 			Run:    "r:2",
 			Digest: grid.ResultDigest("c:1", 3, 7, ""),
 			Res:    grid.Result{JobID: ids.HashString("j"), RunNode: "r:2", OutputKB: 7, Digest: grid.ResultDigest("c:1", 3, 7, "")},
+		},
+		// Trace-context propagation: every job-scoped message carries a
+		// TC; these must survive the wire byte-for-byte or cross-node
+		// trace reconstruction silently loses hops.
+		grid.InjectReq{
+			Client: "c:1", Seq: 3, Attempt: 1, Cons: cons, Work: 50, OutputKB: 2,
+			TC: obs.TC{ID: grid.TraceID("c:1", 3), Hop: 1},
+		},
+		grid.AssignReq{
+			Prof:  grid.Profile{ID: ids.HashString("tjob"), Client: "c:1", Work: 100},
+			Owner: "o:1",
+			TC:    obs.TC{ID: grid.TraceID("c:1", 4), Hop: 7},
+		},
+		grid.ResultReq{
+			Res: grid.Result{JobID: ids.HashString("tj"), RunNode: "r:2", OutputKB: 3},
+			TC:  obs.TC{ID: grid.TraceID("c:1", 5), Hop: 12},
+		},
+		grid.StatusReq{JobID: ids.HashString("tj"), TC: obs.TC{ID: grid.TraceID("c:1", 6), Hop: 2}},
+		grid.StatsResp{Stats: grid.NodeStats{
+			Addr: "n:1", Now: 30e9, QueueLen: 2, Owned: 3, Pending: 1, Completed: 9, Executed: 70e9,
+			Samples: []obs.Sample{{Name: "grid_queue_depth", Value: 2}, {Name: "grid_events_total{kind=\"started\"}", Value: 9}},
+		}},
+		grid.TraceReq{Trace: grid.TraceID("c:1", 3)},
+		grid.TraceResp{
+			Events: []obs.TraceEvent{
+				{Trace: grid.TraceID("c:1", 3), Hop: 1, At: 1e9, Node: "c:1", Stage: "submitted", Note: "work=10s"},
+				{Trace: grid.TraceID("c:1", 3), Hop: 2, At: 2e9, Node: "o:1", Stage: "owned", Peer: "c:1"},
+			},
+			Peers: []transport.Addr{"o:1", "r:2"},
 		},
 		grid.ProbeJobReq{Nonce: "r:9/4", Work: 5e9},
 		grid.ProbeJobResp{Digest: grid.ProbeDigest("r:9/4")},
