@@ -16,6 +16,13 @@
 //
 //	gridctl stats -node 127.0.0.1:7001
 //	gridctl trace -node 127.0.0.1:7001 <job-id>
+//
+// The replicas subcommand shows a job's replicated owner state as one
+// node sees it — record version/epoch, current owner, and (asked of
+// the owner) which successors have acknowledged the latest write
+// (DESIGN.md §10):
+//
+//	gridctl replicas -node 127.0.0.1:7001 <job-id>
 package main
 
 import (
@@ -46,6 +53,9 @@ func main() {
 			return
 		case "trace":
 			traceCmd(os.Args[2:])
+			return
+		case "replicas":
+			replicasCmd(os.Args[2:])
 			return
 		}
 	}
@@ -255,6 +265,68 @@ func traceCmd(args []string) {
 	})
 	if err := <-done; err != nil {
 		fmt.Fprintf(os.Stderr, "gridctl: trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// replicasCmd asks one node for a job's replication status and prints
+// it: the record's ordering fields plus, when the asked node is the
+// owner, the per-successor acknowledgement state.
+func replicasCmd(args []string) {
+	fs := flag.NewFlagSet("replicas", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:7001", "node whose view of the record to dump")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gridctl replicas [-node addr] <job-id>")
+		os.Exit(2)
+	}
+	jobID, err := ids.Parse(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: replicas: bad job id: %v\n", err)
+		os.Exit(2)
+	}
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	done := make(chan error, 1)
+	host.Go("replicas", func(rt transport.Runtime) {
+		raw, err := rt.CallT(transport.Addr(*node), grid.MReplicas, grid.ReplicasReq{JobID: jobID}, 10*time.Second)
+		if err != nil {
+			done <- err
+			return
+		}
+		st := raw.(grid.ReplicasResp).Status
+		if !st.Known {
+			fmt.Printf("node %s holds no record for job %s (replication off, GC'd, or never replicated here)\n",
+				*node, jobID.Short())
+			done <- nil
+			return
+		}
+		state := "live"
+		if st.Deleted {
+			state = "tombstone"
+		}
+		fmt.Printf("job %s: owner=%s epoch=%d version=%d state=%s\n",
+			jobID.Short(), st.Owner, st.Epoch, st.Version, state)
+		if len(st.Peers) == 0 {
+			fmt.Printf("  (no replica set: ask the owner %s for acknowledgement state)\n", st.Owner)
+			done <- nil
+			return
+		}
+		fmt.Printf("  %-24s %-7s %-9s %s\n", "replica", "epoch", "version", "acked")
+		for _, p := range st.Peers {
+			fmt.Printf("  %-24s %-7d %-9d %v\n", p.Addr, p.Epoch, p.Version, p.Acked)
+		}
+		done <- nil
+	})
+	if err := <-done; err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: replicas: %v\n", err)
 		os.Exit(1)
 	}
 }

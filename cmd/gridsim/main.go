@@ -12,7 +12,8 @@
 // tab4 (robustness/churn), tab5 (TTL misses), faultsweep (seeded
 // fault injection), ckptsweep (checkpoint/resume policies),
 // trustsweep (sabotage tolerance: replication/quorum/reputation),
-// ablate-virtualdim, ablate-k, ablate-fair, all.
+// replsweep (owner-state replication degree under owner+run double
+// crashes), ablate-virtualdim, ablate-k, ablate-fair, all.
 package main
 
 import (
@@ -28,7 +29,7 @@ import (
 var experimentOrder = []string{
 	"fig2a", "fig2b", "fig2c", "fig2d",
 	"tab1", "tab2", "tab3", "tab4", "tab5",
-	"faultsweep", "ckptsweep", "trustsweep",
+	"faultsweep", "ckptsweep", "trustsweep", "replsweep",
 	"ablate-virtualdim", "ablate-k", "ablate-fair",
 }
 
@@ -115,6 +116,8 @@ func run(id string, o experiments.Options) (*experiments.Table, error) {
 		return experiments.CkptSweep(o), nil
 	case "trustsweep":
 		return experiments.TrustSweep(o), nil
+	case "replsweep":
+		return experiments.ReplSweep(o), nil
 	case "ablate-virtualdim":
 		return experiments.VirtualDimAblation(o), nil
 	case "ablate-k":

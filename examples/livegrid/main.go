@@ -172,6 +172,11 @@ func main() {
 		chords[i].Start()
 		grids[i].Start()
 	}
+	// The client-side watchdog: if a job's owner gives up (e.g. the
+	// matchmaking walk keeps missing the one peer that satisfies a tight
+	// constraint while the grid is busy), the job is resubmitted under a
+	// fresh GUID instead of being lost.
+	grids[0].StartClientMonitor(2 * time.Second)
 	fmt.Printf("live grid up: %d peers on real TCP sockets\n", N)
 	time.Sleep(1500 * time.Millisecond) // ring + tree convergence
 

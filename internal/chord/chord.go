@@ -139,6 +139,7 @@ type Node struct {
 	fingers    [ids.Bits]Ref
 	nextFinger int
 	started    bool
+	ringChange func()
 
 	// Lookups counts completed local lookups; LookupHops sums their hop
 	// counts. Read them for the DHT-behaviour experiment.
@@ -192,6 +193,26 @@ func (n *Node) Predecessor() Ref {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return n.pred
+}
+
+// SetRingChange registers fn to run (outside the node lock) whenever
+// this node's ring neighborhood changes: predecessor set or cleared,
+// or the successor list rewritten. Layers that re-target state on ring
+// position — the replica subsystem's handoff trigger — hook in here
+// instead of polling.
+func (n *Node) SetRingChange(fn func()) {
+	n.mu.Lock()
+	n.ringChange = fn
+	n.mu.Unlock()
+}
+
+func (n *Node) ringChanged() {
+	n.mu.Lock()
+	fn := n.ringChange
+	n.mu.Unlock()
+	if fn != nil {
+		fn()
+	}
 }
 
 // SuccessorList returns a copy of the successor list.
@@ -372,9 +393,14 @@ func (n *Node) handleState(rt transport.Runtime, from transport.Addr, req any) (
 func (n *Node) handleNotify(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	cand := req.(NotifyReq).Cand
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	changed := false
 	if n.pred.IsZero() || n.pred.ID == n.id || ids.Between(cand.ID, n.pred.ID, n.id) {
+		changed = n.pred != cand
 		n.pred = cand
+	}
+	n.mu.Unlock()
+	if changed {
+		n.ringChanged()
 	}
 	return NotifyResp{}, nil
 }
@@ -406,10 +432,15 @@ func (n *Node) stabilizeOnce(rt transport.Runtime) {
 			// Sole member: adopt our predecessor as successor if one
 			// appeared (ring of two forming).
 			n.mu.Lock()
+			changed := false
 			if !n.pred.IsZero() && n.pred.ID != n.id {
 				n.succs = prependTrim(n.pred, nil, n.cfg.SuccessorListLen)
+				changed = true
 			}
 			n.mu.Unlock()
+			if changed {
+				n.ringChanged()
+			}
 			return
 		}
 		raw, err := rt.Call(succ.Addr, MState, StateReq{})
@@ -425,6 +456,7 @@ func (n *Node) stabilizeOnce(rt transport.Runtime) {
 				n.succs = []Ref{self}
 			}
 			n.mu.Unlock()
+			n.ringChanged()
 			if empty {
 				return
 			}
@@ -432,20 +464,45 @@ func (n *Node) stabilizeOnce(rt transport.Runtime) {
 		}
 		st := raw.(StateResp)
 		newSucc := succ
-		if !st.Pred.IsZero() && ids.Between(st.Pred.ID, n.id, succ.ID) {
-			newSucc = st.Pred
+		if !st.Pred.IsZero() && st.Pred.ID != n.id && ids.Between(st.Pred.ID, n.id, succ.ID) {
+			// A node appeared between us and our successor. Verify it
+			// answers before adopting it: the successor can report a
+			// predecessor that has since died, and installing a dead
+			// succs[0] stalls lookups (and replica targeting) until the
+			// next round notices. In steady state st.Pred is this node
+			// itself, caught above, so the ping is join/repair-only.
+			if _, err := rt.Call(st.Pred.Addr, MPing, PingReq{}); err == nil {
+				newSucc = st.Pred
+			}
 		}
 		n.mu.Lock()
+		old := n.succs
 		if newSucc == succ {
 			// Adopt successor's list, shifted by one.
 			n.succs = prependTrim(succ, st.Succs, n.cfg.SuccessorListLen)
 		} else {
-			n.succs = prependTrim(newSucc, n.succs, n.cfg.SuccessorListLen)
+			n.succs = prependTrim(newSucc, old, n.cfg.SuccessorListLen)
 		}
+		changed := !refsEqual(old, n.succs)
 		n.mu.Unlock()
+		if changed {
+			n.ringChanged()
+		}
 		_, _ = rt.Call(newSucc.Addr, MNotify, NotifyReq{Cand: self})
 		return
 	}
+}
+
+func refsEqual(a, b []Ref) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func prependTrim(head Ref, rest []Ref, max int) []Ref {
@@ -511,12 +568,51 @@ func (n *Node) checkPredLoop(rt transport.Runtime) {
 		}
 		if _, err := rt.Call(pred.Addr, MPing, PingReq{}); err != nil {
 			n.mu.Lock()
+			changed := false
 			if n.pred == pred {
 				n.pred = Ref{}
+				changed = true
+			}
+			if n.dropRefLocked(pred) {
+				changed = true
 			}
 			n.mu.Unlock()
+			if changed {
+				n.ringChanged()
+			}
 		}
 	}
+}
+
+// dropRefLocked purges a node that just failed a ping from the
+// successor list and finger table. Without this, a dead predecessor
+// lingered in routing state until stabilization propagated the failure
+// around the ring — on small rings the predecessor IS in the successor
+// list, so successor(k) stayed wrong for many rounds, delaying every
+// layer that targets successors (replica handoff most of all).
+// Reports whether anything changed.
+func (n *Node) dropRefLocked(dead Ref) bool {
+	changed := false
+	kept := n.succs[:0]
+	for _, s := range n.succs {
+		if s == dead {
+			changed = true
+			continue
+		}
+		kept = append(kept, s)
+	}
+	n.succs = kept
+	if len(n.succs) == 0 {
+		// Last resort, as in stabilization: wait for a notify.
+		n.succs = []Ref{n.Ref()}
+	}
+	for i, f := range n.fingers {
+		if f == dead {
+			n.fingers[i] = Ref{}
+			changed = true
+		}
+	}
+	return changed
 }
 
 // jittered spreads periodic work to avoid lock-step rounds across nodes.

@@ -14,6 +14,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/match"
 	"repro/internal/metrics"
+	"repro/internal/replica"
 	"repro/internal/rntree"
 	"repro/internal/sim"
 	"repro/internal/simhost"
@@ -233,6 +234,9 @@ func Build(s Scenario) *Deployment {
 		}
 
 		gcfg := s.Grid
+		if gcfg.ReplicaK > 0 && needChord {
+			gcfg.ReplicaRing = replica.ChordRing{Node: d.Chords[i]}
+		}
 		if s.Trust != nil {
 			tb := trust.New(*s.Trust)
 			gcfg.Trust = tb
@@ -254,6 +258,11 @@ func Build(s Scenario) *Deployment {
 	// Late wiring that needs the grid node.
 	for i := 0; i < n; i++ {
 		gn := d.Grids[i]
+		if s.Grid.ReplicaK > 0 && needChord {
+			// Stabilization events re-aim replica pushes immediately
+			// instead of waiting out the next anti-entropy period.
+			d.Chords[i].SetRingChange(gn.ReplicaKick)
+		}
 		if len(d.RNs) > 0 {
 			d.RNs[i].SetLoadFn(gn.QueueLen)
 		}

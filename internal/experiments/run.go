@@ -61,6 +61,12 @@ type Results struct {
 	Resumes     int
 	ResumedWork time.Duration // work salvaged by resuming from snapshots
 
+	// Replication counters (zero with ReplicaK 0).
+	Promotions int // replicas that took over a dead owner's jobs
+	Handoffs   int // re-established execution paths after takeover/restore
+	Restores   int // records pushed back to a restarted, amnesiac owner
+	Demotions  int // stale owners fenced out by a newer epoch
+
 	// Sabotage-tolerance counters (zero without voting/saboteurs).
 	Saboteurs     int // nodes configured Byzantine
 	WrongAccepted int // delivered results whose digest != honest expectation
@@ -214,6 +220,10 @@ func (d *Deployment) results() Results {
 	if d.Byz != nil {
 		res.Saboteurs = len(d.Byz.Saboteurs())
 	}
+	res.Promotions = col.Count(grid.EvPromoted)
+	res.Handoffs = col.Count(grid.EvHandoff)
+	res.Restores = col.Count(grid.EvRestored)
+	res.Demotions = col.Count(grid.EvDemoted)
 	res.WrongAccepted = col.WrongDeliveries()
 	res.Votes = col.Count(grid.EvVoted)
 	res.Accepted = col.Count(grid.EvAccepted)

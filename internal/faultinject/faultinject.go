@@ -153,6 +153,13 @@ type Plan struct {
 	RestartProb float64
 	// RestartDelay bounds the crash-to-restart gap (uniform).
 	RestartDelayMin, RestartDelayMax time.Duration
+	// PairCrashes is how many correlated double-crash events to
+	// schedule: two distinct nodes crash at the same instant. Aimed at
+	// a job's owner and run node dying together — the double failure
+	// that defeats single-owner recovery and only replicated owner
+	// state (grid.ReplicaK) survives without a client resubmit. Each
+	// victim draws its restart independently, like single crashes.
+	PairCrashes int
 	// Partitions is how many partition events to schedule; each isolates
 	// PartitionSize nodes (default 1) for a uniform duration in
 	// [PartitionDurMin, PartitionDurMax].
@@ -194,6 +201,21 @@ func Generate(seed int64, p Plan) Schedule {
 		if p.RestartProb > 0 && rng.Float64() < p.RestartProb {
 			back := at + uniform(p.RestartDelayMin, p.RestartDelayMax)
 			s.Nodes = append(s.Nodes, NodeEvent{At: back, Node: node, Restart: true})
+		}
+	}
+	// Pair-crash draws come after single-crash draws and before
+	// partition draws; a zero PairCrashes consumes no draws, so
+	// schedules generated before the knob existed replay identically.
+	for k := 0; k < p.PairCrashes && len(eligible) >= 2; k++ {
+		perm := rng.Perm(len(eligible))
+		at := uniform(0, p.Window)
+		for i := 0; i < 2; i++ {
+			node := eligible[perm[i]]
+			s.Nodes = append(s.Nodes, NodeEvent{At: at, Node: node})
+			if p.RestartProb > 0 && rng.Float64() < p.RestartProb {
+				back := at + uniform(p.RestartDelayMin, p.RestartDelayMax)
+				s.Nodes = append(s.Nodes, NodeEvent{At: back, Node: node, Restart: true})
+			}
 		}
 	}
 	size := p.PartitionSize

@@ -260,3 +260,75 @@ func TestByzBehaviorHashStable(t *testing.T) {
 		t.Fatalf("draw distribution off: wrongs=%d holds=%d of 200", wrongs, holds)
 	}
 }
+
+func TestGeneratePairCrashes(t *testing.T) {
+	plan := Plan{
+		Nodes:           10,
+		Protect:         []int{0},
+		Window:          time.Minute,
+		PairCrashes:     4,
+		RestartProb:     1,
+		RestartDelayMin: time.Second,
+		RestartDelayMax: 5 * time.Second,
+	}
+	a, b := Generate(11, plan), Generate(11, plan)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different pair-crash schedules")
+	}
+	// Group the crash events by instant: each pair event must yield two
+	// distinct victims crashing at the same virtual time.
+	byAt := make(map[time.Duration][]int)
+	for _, ev := range a.Nodes {
+		if ev.Node == 0 {
+			t.Fatalf("protected node %d scheduled", ev.Node)
+		}
+		if ev.Restart {
+			continue
+		}
+		byAt[ev.At] = append(byAt[ev.At], ev.Node)
+	}
+	pairs := 0
+	for at, victims := range byAt {
+		if len(victims) != 2 {
+			t.Fatalf("crash instant %v has %d victims, want 2", at, len(victims))
+		}
+		if victims[0] == victims[1] {
+			t.Fatalf("pair at %v crashed the same node twice", at)
+		}
+		pairs++
+	}
+	if pairs != plan.PairCrashes {
+		t.Fatalf("%d pair instants, want %d", pairs, plan.PairCrashes)
+	}
+	// RestartProb 1: every victim restarts after its crash.
+	restarts := 0
+	for _, ev := range a.Nodes {
+		if ev.Restart {
+			restarts++
+		}
+	}
+	if restarts != 2*plan.PairCrashes {
+		t.Fatalf("%d restarts, want %d", restarts, 2*plan.PairCrashes)
+	}
+}
+
+func TestGeneratePairCrashesZeroPreservesDraws(t *testing.T) {
+	// The PairCrashes knob must not consume RNG draws when zero, so
+	// schedules generated before it existed replay identically.
+	plan := Plan{
+		Nodes:           8,
+		Window:          time.Minute,
+		Crashes:         3,
+		RestartProb:     0.5,
+		RestartDelayMin: time.Second,
+		RestartDelayMax: 5 * time.Second,
+		Partitions:      2,
+		PartitionDurMin: time.Second,
+		PartitionDurMax: 10 * time.Second,
+	}
+	withKnob := plan
+	withKnob.PairCrashes = 0
+	if !reflect.DeepEqual(Generate(3, plan), Generate(3, withKnob)) {
+		t.Fatal("zero PairCrashes changed the schedule")
+	}
+}

@@ -65,9 +65,24 @@ func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt in
 		Seq: seq, Digest: ResultDigest(req.Client, seq, spec.OutputKB, ""),
 	})
 	resp, err := n.Inject(rt, req)
+	// An injection error usually means the routed owner candidate is
+	// dead or unreachable; each retry re-routes (under walk placement, a
+	// fresh walk), which lands elsewhere. Without the retry the job sits
+	// ownerless until the monitor's patience expires and resubmits it —
+	// a full patience window of latency for a submit-time failure.
+	for tries := 1; err != nil && tries < 3; tries++ {
+		rt.Sleep(time.Second)
+		resp, err = n.Inject(rt, req)
+	}
 	if err != nil {
 		return jobID, err
 	}
+	n.mu.Lock()
+	if pp, ok := n.pending[jobID]; ok {
+		pp.owner = resp.Owner
+		pp.reps = resp.Reps
+	}
+	n.mu.Unlock()
 	return resp.JobID, nil
 }
 
@@ -178,30 +193,32 @@ func (n *Node) StartClientMonitor(resubmitAfter time.Duration) {
 	})
 }
 
-// checkAndMaybeResubmit asks the job's current DHT owner whether it
-// still tracks the job; if not, the job is resubmitted as a new
-// attempt.
+// checkAndMaybeResubmit asks whether anyone still tracks the job; only
+// when nobody answers for it is the job resubmitted as a new attempt.
+// Probes go out in order of who is most likely to know: the owner
+// recorded at injection (re-aimed by earlier probes), then its replica
+// chain — with replication on, any surviving member keeps guarding the
+// record and a promoted successor is one of them — and last the
+// overlay's current routing for the GUID, which under walk placement
+// lands on an arbitrary nearby node.
 func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendingJob) {
-	owner, _, err := n.overlay.RouteJob(rt, jobID, p.cons)
-	if err == nil {
-		// The status probe carries the lineage's context for wire
-		// uniformity; the owner records nothing for it (a query, not a
-		// lifecycle step).
-		sreq := StatusReq{JobID: jobID, TC: n.om.tracer.Context(TraceID(n.host.Addr(), p.seq))}
-		var raw any
-		if owner == n.host.Addr() {
-			raw, err = n.handleStatus(rt, n.host.Addr(), sreq)
-		} else {
-			raw, err = rt.Call(owner, MStatus, sreq)
+	probed := make(map[transport.Addr]bool, len(p.reps)+2)
+	direct := make([]transport.Addr, 0, len(p.reps)+1)
+	if p.owner != "" {
+		direct = append(direct, p.owner)
+	}
+	direct = append(direct, p.reps...)
+	for _, c := range direct {
+		if probed[c] {
+			continue
 		}
-		if err == nil && raw.(StatusResp).Known {
-			// Someone is still responsible; extend patience by resetting
-			// the submit clock.
-			n.mu.Lock()
-			if pp, ok := n.pending[jobID]; ok {
-				pp.submitAt = rt.Now()
-			}
-			n.mu.Unlock()
+		probed[c] = true
+		if n.statusKnown(rt, jobID, p, c) {
+			return
+		}
+	}
+	if routed, _, err := n.overlay.RouteJob(rt, jobID, p.cons); err == nil && !probed[routed] {
+		if n.statusKnown(rt, jobID, p, routed) {
 			return
 		}
 	}
@@ -218,4 +235,40 @@ func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendi
 	n.rec.Record(Event{Kind: EvResubmitted, JobID: jobID, Attempt: p.attempt, At: rt.Now(), Node: n.host.Addr()})
 	spec := JobSpec{Cons: p.cons, Work: p.work, InputKB: p.inputKB, OutputKB: p.outputKB}
 	_, _ = n.submitAttempt(rt, spec, p.seq, p.attempt+1)
+}
+
+// statusKnown probes one candidate for the job's status. On a Known
+// answer it extends the monitor's patience by resetting the submit
+// clock and re-aims the pending entry at whatever owner and replica
+// chain the responder reports (empty when a replica answered on a live
+// owner's behalf).
+func (n *Node) statusKnown(rt transport.Runtime, jobID ids.ID, p pendingJob, addr transport.Addr) bool {
+	// The status probe carries the lineage's context for wire
+	// uniformity; the responder records nothing for it (a query, not a
+	// lifecycle step).
+	sreq := StatusReq{JobID: jobID, TC: n.om.tracer.Context(TraceID(n.host.Addr(), p.seq))}
+	var raw any
+	var err error
+	if addr == n.host.Addr() {
+		raw, err = n.handleStatus(rt, n.host.Addr(), sreq)
+	} else {
+		raw, err = rt.Call(addr, MStatus, sreq)
+	}
+	if err != nil {
+		return false
+	}
+	resp := raw.(StatusResp)
+	if !resp.Known {
+		return false
+	}
+	n.mu.Lock()
+	if pp, ok := n.pending[jobID]; ok {
+		pp.submitAt = rt.Now()
+		if resp.Owner != "" {
+			pp.owner = resp.Owner
+			pp.reps = resp.Reps
+		}
+	}
+	n.mu.Unlock()
+	return true
 }

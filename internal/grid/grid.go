@@ -123,6 +123,27 @@ type Config struct {
 	// the fault-injection layer; nil on honest nodes.
 	Byzantine func(jobID ids.ID, attempt int) (wrong, withhold bool)
 
+	// ReplicaK enables owner-state replication (DESIGN.md §10): every
+	// owner mutation is also written to a replicated store that pushes
+	// it to the first ReplicaK live ring successors, and replicas
+	// promote themselves to owner when probes declare the owner dead —
+	// removing the client resubmit from the owner+run double-failure
+	// path. Default 0: off, the paper's owner+run-only replication.
+	// Requires ReplicaRing.
+	ReplicaK int
+	// ReplicaRing supplies ring position and successor targets for the
+	// replica subsystem (replica.ChordRing over chord in deployments;
+	// tests substitute scripted rings).
+	ReplicaRing ReplicaRing
+	// ReplicaPushEvery is the owner-side anti-entropy period (default 1 s).
+	ReplicaPushEvery time.Duration
+	// ReplicaProbeEvery is the replica-side owner-liveness probe period
+	// (default 1 s).
+	ReplicaProbeEvery time.Duration
+	// ReplicaDeadAfter is how long an owner must fail probes before a
+	// replica takes its keys over (default 3 s).
+	ReplicaDeadAfter time.Duration
+
 	// Obs, when set, attaches the live observability layer: lifecycle
 	// metrics feed its registry, job traces its tracer, and structured
 	// events its hub. Observability is trace-neutral — it never feeds
@@ -184,6 +205,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeWork == 0 {
 		c.ProbeWork = 100 * time.Millisecond
+	}
+	if c.ReplicaPushEvery == 0 {
+		c.ReplicaPushEvery = time.Second
+	}
+	if c.ReplicaProbeEvery == 0 {
+		c.ReplicaProbeEvery = time.Second
+	}
+	if c.ReplicaDeadAfter == 0 {
+		c.ReplicaDeadAfter = 3 * time.Second
 	}
 	return c
 }
@@ -331,6 +361,11 @@ const (
 	EvReputation   // a peer's trust score changed; Delta is the change
 	EvBlacklisted  // the change crossed the peer into the blacklist
 	EvProbed       // a known-answer probe completed; Delta is the change
+	// Replication events (appended; see DESIGN.md §10).
+	EvPromoted // a replica took ownership of a job after owner death
+	EvHandoff  // a promoted/restored owner re-established the execution path
+	EvDemoted  // a stale owner stood down after being fenced
+	EvRestored // a replica handed a restarted owner its job state back
 )
 
 var eventNames = [...]string{
@@ -340,6 +375,7 @@ var eventNames = [...]string{
 	"resubmitted", "dropped", "gave-up", "checkpointed", "resumed",
 	"voted", "accepted", "rejected", "quorum-failed", "reputation",
 	"blacklisted", "probed",
+	"promoted", "handoff", "demoted", "restored",
 }
 
 func (k EventKind) String() string {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/obs"
+	replpkg "repro/internal/replica"
 	"repro/internal/resource"
 	"repro/internal/transport"
 	"repro/internal/trust"
@@ -40,26 +41,37 @@ type (
 		OutputKB int
 		TC       obs.TC
 	}
-	// InjectResp confirms insertion: the assigned GUID and owner.
+	// InjectResp confirms insertion: the assigned GUID and owner, plus
+	// (with replication on) the owner's ranked replica target list so
+	// the client's monitor can probe the chain if the owner goes silent.
 	InjectResp struct {
 		JobID ids.ID
 		Owner transport.Addr
 		Hops  int
+		Reps  []transport.Addr
 	}
 	// OwnReq hands a job profile to its owner node.
 	OwnReq struct {
 		Prof Profile
 		TC   obs.TC
 	}
-	// OwnResp acknowledges ownership.
-	OwnResp struct{}
+	// OwnResp acknowledges ownership. Reps is the new owner's ranked
+	// replica target list (nil when replication is off), handed back
+	// through injection to the submitting client.
+	OwnResp struct{ Reps []transport.Addr }
 	// AssignReq enqueues a job at a run node. Ckpt, when non-zero,
 	// carries the owner's latest checkpoint so the run node resumes
-	// from saved progress instead of restarting.
+	// from saved progress instead of restarting. Reps, when replication
+	// is on, is the owner's ranked replica target list: if the owner
+	// later dies, the run node offers adoption to these nodes in rank
+	// order, converging on the same successor the replica layer's
+	// rank-based promotion elects instead of recruiting a random
+	// walk-routed second owner.
 	AssignReq struct {
 		Prof  Profile
 		Owner transport.Addr
 		Ckpt  Checkpoint
+		Reps  []transport.Addr
 		TC    obs.TC
 	}
 	// AssignResp acknowledges with the queue position.
@@ -143,11 +155,17 @@ type (
 		JobID ids.ID
 		TC    obs.TC
 	}
-	// StatusResp reports whether the owner tracks the job.
+	// StatusResp reports whether the responder tracks the job. A node
+	// that owns the job also reports itself (Owner) and its current
+	// replica chain (Reps) so the probing client re-aims future probes
+	// after an adoption or promotion moved the job; a replica answering
+	// on a live owner's behalf leaves both empty.
 	StatusResp struct {
 		Known   bool
 		Matched bool
 		Run     transport.Addr
+		Owner   transport.Addr
+		Reps    []transport.Addr
 	}
 )
 
@@ -215,6 +233,10 @@ func (j *ownedJob) isExcluded(a transport.Addr) bool {
 type queuedJob struct {
 	prof  Profile
 	owner transport.Addr
+	// reps is the owner's ranked replica target list as of the last
+	// assignment — the adoption candidates tried, in order, if the
+	// owner goes silent (empty when replication is off).
+	reps []transport.Addr
 	// ckpt is the newest local checkpoint: seeded by a resumed
 	// assignment, refreshed by the executor at every snapshot.
 	ckpt Checkpoint
@@ -239,6 +261,9 @@ type Node struct {
 	rec     Recorder
 	obsv    *obs.Obs // nil when observability is off
 	om      *nodeObs // resolved instruments (never nil; no-op fields)
+	// repl is the replicated owner-state store (DESIGN.md §10); nil
+	// unless cfg.ReplicaK > 0 and a ReplicaRing is supplied.
+	repl *replpkg.Manager
 
 	mu      sync.Mutex
 	owned   map[ids.ID]*ownedJob
@@ -278,6 +303,13 @@ type pendingJob struct {
 	submitAt time.Duration
 	resultAt time.Duration
 	got      bool
+	// owner/reps aim the monitor's status probes: the job's owner as of
+	// injection (re-aimed by each successful probe) and that owner's
+	// replica chain. Under walk placement the overlay cannot re-route a
+	// GUID to its owner, so these pointers are how the client finds
+	// whoever still tracks the job before concluding it is lost.
+	owner transport.Addr
+	reps  []transport.Addr
 }
 
 // NewNode creates a grid peer bound to host, using the given overlay
@@ -318,6 +350,18 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 	host.Handle(MTrust, n.handleTrust)
 	host.Handle(MStats, n.handleStats)
 	host.Handle(MTrace, n.handleTrace)
+	host.Handle(MReplicas, n.handleReplicas)
+	if n.cfg.ReplicaK > 0 && n.cfg.ReplicaRing != nil {
+		n.repl = replpkg.New(host, n.cfg.ReplicaRing, replpkg.Config{
+			K:          n.cfg.ReplicaK,
+			PushEvery:  n.cfg.ReplicaPushEvery,
+			ProbeEvery: n.cfg.ReplicaProbeEvery,
+			DeadAfter:  n.cfg.ReplicaDeadAfter,
+			OnOwn:      n.onReplicaOwn,
+			OnFenced:   n.onReplicaFenced,
+			Obs:        n.cfg.Obs,
+		})
+	}
 	return n
 }
 
@@ -355,6 +399,9 @@ func (n *Node) Start() {
 	n.host.Go("grid.exec", n.execLoop)
 	n.host.Go("grid.heartbeat", n.heartbeatLoop)
 	n.host.Go("grid.monitor", n.ownerMonitorLoop)
+	if n.repl != nil {
+		n.repl.Start()
+	}
 }
 
 // Restart models a process restart after a crash: all server-side soft
@@ -372,6 +419,11 @@ func (n *Node) Restart() {
 	n.failObs = nil
 	n.started = false
 	n.mu.Unlock()
+	if n.repl != nil {
+		// Replicated records are soft state too; the surviving replicas
+		// push them back (probe push-back -> onReplicaOwn restore).
+		n.repl.Reset()
+	}
 	n.Start()
 }
 
@@ -411,12 +463,16 @@ func (n *Node) Inject(rt transport.Runtime, req InjectReq) (InjectResp, error) {
 	}
 	tc = n.trace(tc, rt.Now(), "injected", prof.Attempt, owner, n.traceNote("hops=%d", hops))
 	n.rec.Record(Event{Kind: EvInjected, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr(), Hops: hops})
+	var reps []transport.Addr
 	if owner == n.host.Addr() {
 		n.ownJob(rt, prof, tc)
-	} else if _, err := rt.Call(owner, MOwn, OwnReq{Prof: prof, TC: tc}); err != nil {
+		reps = n.replTargets()
+	} else if raw, err := rt.Call(owner, MOwn, OwnReq{Prof: prof, TC: tc}); err != nil {
 		return InjectResp{}, fmt.Errorf("grid: hand job %s to owner %s: %w", prof.ID.Short(), owner, err)
+	} else {
+		reps = raw.(OwnResp).Reps
 	}
-	return InjectResp{JobID: prof.ID, Owner: owner, Hops: hops}, nil
+	return InjectResp{JobID: prof.ID, Owner: owner, Hops: hops, Reps: reps}, nil
 }
 
 func (n *Node) handleInject(rt transport.Runtime, from transport.Addr, req any) (any, error) {
@@ -432,7 +488,7 @@ func (n *Node) handleInject(rt transport.Runtime, from transport.Addr, req any) 
 func (n *Node) handleOwn(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	o := req.(OwnReq)
 	n.ownJob(rt, o.Prof, o.TC)
-	return OwnResp{}, nil
+	return OwnResp{Reps: n.replTargets()}, nil
 }
 
 // ownJob records ownership and starts matchmaking asynchronously so the
@@ -453,6 +509,7 @@ func (n *Node) ownJob(rt transport.Runtime, prof Profile, tc obs.TC) {
 	n.mu.Unlock()
 	n.trace(tc, rt.Now(), "owned", prof.Attempt, "", "")
 	n.record(EvOwned, prof, rt.Now())
+	n.republish(prof.ID)
 	if job.vote != nil {
 		n.host.Go("grid.match", func(rt transport.Runtime) {
 			n.fillReplicas(rt, prof.ID)
@@ -498,7 +555,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 		// the run node's "enqueued" hop sorts strictly after it; a failed
 		// assignment leaves a matched step with no enqueue following it.
 		tc = n.trace(tc, rt.Now(), "matched", prof.Attempt, run, n.traceNote("hops=%d visits=%d", stats.Hops, stats.Visits))
-		req := AssignReq{Prof: prof, Owner: n.host.Addr(), Ckpt: ckpt, TC: tc}
+		req := AssignReq{Prof: prof, Owner: n.host.Addr(), Ckpt: ckpt, Reps: n.replTargets(), TC: tc}
 		var assignErr error
 		if run == n.host.Addr() {
 			_, assignErr = n.assign(rt, req)
@@ -511,6 +568,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 				job.excluded = append(job.excluded, run)
 			}
 			n.mu.Unlock()
+			n.republish(jobID)
 			continue
 		}
 		n.mu.Lock()
@@ -522,6 +580,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 		}
 		n.mu.Unlock()
 		n.record(EvMatched, prof, rt.Now(), stats)
+		n.republish(jobID)
 		return
 	}
 	n.mu.Lock()
@@ -537,6 +596,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 	if ok {
 		n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 		n.record(EvGaveUp, prof, rt.Now())
+		n.retire(rt.Now(), jobID)
 	}
 }
 
@@ -607,6 +667,7 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
 			At: now, Node: n.host.Addr(),
 		})
+		n.republish(d.id)
 	}
 	for _, d := range rematch {
 		n.trace(d.tc, now, "run-failure-detected", d.prof.Attempt, d.run, n.traceNote("saved=%s", d.saved))
@@ -614,6 +675,7 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
 			At: now, Node: n.host.Addr(), Progress: d.saved,
 		})
+		n.republish(d.id)
 		id := d.id
 		n.host.Go("grid.rematch", func(rt transport.Runtime) {
 			n.matchAndAssign(rt, id)
@@ -653,6 +715,7 @@ func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 		n.mu.Lock()
 		delete(n.owned, res.JobID)
 		n.mu.Unlock()
+		n.retire(rt.Now(), res.JobID)
 		return
 	}
 	n.mu.Lock()
@@ -671,6 +734,7 @@ func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 	if gaveUp {
 		n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 		n.record(EvGaveUp, prof, rt.Now())
+		n.retire(rt.Now(), res.JobID)
 	}
 }
 
@@ -708,13 +772,17 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 			tc = job.tc
 		}
 	}
-	if ok && job.relay == nil {
+	retired := ok && job.relay == nil
+	if retired {
 		delete(n.owned, c.JobID)
 	}
 	n.mu.Unlock()
 	if ok {
 		n.trace(tc, rt.Now(), "completed", job.prof.Attempt, c.Run, "")
 		n.record(EvCompleted, job.prof, rt.Now())
+	}
+	if retired {
+		n.retire(rt.Now(), c.JobID)
 	}
 	return CompleteResp{}, nil
 }
@@ -780,6 +848,9 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 	n.mu.Unlock()
 	n.trace(a.TC, rt.Now(), "owner-adopted", a.Prof.Attempt, a.Run, "")
 	n.record(EvOwnerAdopted, a.Prof, rt.Now())
+	// Adoption is an ownership transfer: republish opens a new epoch
+	// that fences out whatever the previous owner replicated.
+	n.republish(a.Prof.ID)
 	if fill {
 		n.host.Go("grid.fill", func(rt transport.Runtime) {
 			n.fillReplicas(rt, a.Prof.ID)
@@ -801,6 +872,7 @@ func (n *Node) handleCheckpoint(rt transport.Runtime, from transport.Addr, req a
 	if absorbed {
 		n.trace(c.TC, rt.Now(), "checkpoint-stored", c.Ckpt.Attempt, c.Run,
 			n.traceNote("done=%s bytes=%d", c.Ckpt.Done, len(c.Ckpt.Data)))
+		n.republish(c.Ckpt.JobID)
 	}
 	return CheckpointResp{}, nil
 }
@@ -811,12 +883,20 @@ func (n *Node) handleStatus(rt transport.Runtime, from transport.Addr, req any) 
 	defer n.mu.Unlock()
 	job, ok := n.owned[s.JobID]
 	if !ok {
+		// With replication on, a job this node does not own may still be
+		// in good hands: mid-handoff (owner just died, a replica is about
+		// to promote) or owned elsewhere after this node restarted.
+		// Answering Known keeps the client's monitor patient; a record
+		// whose owner is confirmed dead falls through to resubmission.
+		if n.repl != nil && n.repl.Responsible(rt.Now(), s.JobID) {
+			return StatusResp{Known: true}, nil
+		}
 		return StatusResp{}, nil
 	}
 	if job.vote != nil {
-		return StatusResp{Known: true, Matched: len(job.vote.reps) > 0}, nil
+		return StatusResp{Known: true, Matched: len(job.vote.reps) > 0, Owner: n.host.Addr(), Reps: n.replTargets()}, nil
 	}
-	return StatusResp{Known: true, Matched: job.matched, Run: job.run}, nil
+	return StatusResp{Known: true, Matched: job.matched, Run: job.run, Owner: n.host.Addr(), Reps: n.replTargets()}, nil
 }
 
 func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req any) (any, error) {
@@ -860,11 +940,17 @@ func (n *Node) handleHeartbeat(rt transport.Runtime, from transport.Addr, req an
 	// Voting jobs ignore checkpoints: replicas restart from scratch
 	// (redundant execution and checkpoint-resume do not compose; see
 	// DESIGN.md §7).
+	var absorbed []ids.ID
 	for _, ck := range hb.Ckpts {
 		if job, ok := n.owned[ck.JobID]; ok && job.vote == nil {
-			job.absorbCkpt(ck)
+			if job.absorbCkpt(ck) {
+				absorbed = append(absorbed, ck.JobID)
+			}
 		}
 	}
 	n.mu.Unlock()
+	for _, id := range absorbed {
+		n.republish(id)
+	}
 	return HeartbeatResp{Drop: drop}, nil
 }

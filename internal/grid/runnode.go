@@ -26,21 +26,23 @@ func (n *Node) assign(rt transport.Runtime, req AssignReq) (AssignResp, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	// Idempotence: re-assignment of a job we already hold just updates
-	// the owner (the owner may have changed after adoption). Local
-	// progress is at least as fresh as the owner's copy, so the
-	// attached checkpoint is ignored.
+	// the owner and its replica chain (both may have changed after
+	// adoption). Local progress is at least as fresh as the owner's
+	// copy, so the attached checkpoint is ignored.
 	if n.running != nil && n.running.prof.ID == req.Prof.ID {
 		n.running.owner = req.Owner
+		n.running.reps = req.Reps
 		return AssignResp{Position: 0}, nil
 	}
 	for i, q := range n.queue {
 		if q.prof.ID == req.Prof.ID {
 			q.owner = req.Owner
+			q.reps = req.Reps
 			return AssignResp{Position: i + 1}, nil
 		}
 	}
 	delete(n.done, req.Prof.ID)
-	q := &queuedJob{prof: req.Prof, owner: req.Owner, enqueuedAt: rt.Now()}
+	q := &queuedJob{prof: req.Prof, owner: req.Owner, reps: req.Reps, enqueuedAt: rt.Now()}
 	if !req.Ckpt.Zero() && req.Ckpt.Attempt == req.Prof.Attempt {
 		// Resume seed: the owner already holds this snapshot, so it is
 		// born shipped.
@@ -328,6 +330,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 		byOwner := make(map[transport.Addr][]ids.ID)
 		profs := make(map[ids.ID]Profile)
 		tcs := make(map[ids.ID]obs.TC)
+		reps := make(map[ids.ID][]transport.Addr)
 		jobs := make([]*queuedJob, 0, len(n.queue)+1)
 		if n.running != nil {
 			jobs = append(jobs, n.running)
@@ -337,6 +340,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 			byOwner[q.owner] = append(byOwner[q.owner], q.prof.ID)
 			profs[q.prof.ID] = q.prof
 			tcs[q.prof.ID] = q.tc
+			reps[q.prof.ID] = q.reps
 		}
 		n.mu.Unlock()
 
@@ -389,7 +393,7 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 					for _, id := range jobIDs {
 						tc := n.trace(tcs[id], now, "owner-failure-detected", profs[id].Attempt, owner, "")
 						n.record(EvOwnerFailureDetected, profs[id], now)
-						n.reassignOwner(rt, profs[id], owner, tc)
+						n.reassignOwner(rt, profs[id], owner, reps[id], tc)
 					}
 				}
 				continue
@@ -419,16 +423,41 @@ func (n *Node) heartbeatLoop(rt transport.Runtime) {
 	}
 }
 
-// reassignOwner routes a job's GUID to its current DHT owner and asks
-// it to adopt the job; the run node then reports heartbeats there.
-func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner transport.Addr, tc obs.TC) {
+// reassignOwner finds a new owner for a job whose owner went silent and
+// asks it to adopt; the run node then reports heartbeats there. With
+// replication on, the dead owner's replica chain (shipped with the
+// assignment) is tried first, in rank order: those nodes hold the job's
+// replicated state, and the replica layer's rank-based promotion elects
+// from the same list — offering adoption there makes both recovery
+// paths converge on one owner instead of racing a walk-routed stranger
+// against the promoting replica (double owners, fencing, wasted work).
+// Only when the whole chain is unreachable does the run node fall back
+// to routing the job's GUID through the overlay.
+func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner transport.Addr, reps []transport.Addr, tc obs.TC) {
+	// The adoption request carries our newest snapshot so the new owner
+	// starts with the dead owner's replicated progress, not zero.
+	ckpt := n.localCkpt(prof.ID)
+	for _, rep := range reps {
+		if rep == deadOwner {
+			continue
+		}
+		var ok bool
+		if tc, ok = n.tryAdopt(rt, prof, rep, ckpt, tc); ok {
+			return
+		}
+	}
 	newOwner, _, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
 	if err != nil || newOwner == deadOwner {
 		return // retry on a later heartbeat round
 	}
-	// The adoption request carries our newest snapshot so the new owner
-	// starts with the dead owner's replicated progress, not zero.
-	ckpt := n.localCkpt(prof.ID)
+	n.tryAdopt(rt, prof, newOwner, ckpt, tc)
+}
+
+// tryAdopt offers a job to one adoption candidate (self-adopting
+// locally when the candidate is this node) and, on success, repoints
+// the held job's heartbeats at it. It returns the advanced trace
+// context and whether the adoption landed.
+func (n *Node) tryAdopt(rt transport.Runtime, prof Profile, newOwner transport.Addr, ckpt Checkpoint, tc obs.TC) (obs.TC, bool) {
 	tc = n.trace(tc, rt.Now(), "adopt-requested", prof.Attempt, newOwner, "")
 	if newOwner == n.host.Addr() {
 		n.mu.Lock()
@@ -444,7 +473,7 @@ func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner trans
 			n.record(EvOwnerAdopted, prof, rt.Now())
 		}
 	} else if _, err := rt.Call(newOwner, MAdopt, AdoptReq{Prof: prof, Run: n.host.Addr(), Ckpt: ckpt, TC: tc}); err != nil {
-		return
+		return tc, false
 	}
 	n.mu.Lock()
 	if n.running != nil && n.running.prof.ID == prof.ID {
@@ -461,6 +490,7 @@ func (n *Node) reassignOwner(rt transport.Runtime, prof Profile, deadOwner trans
 		}
 	}
 	n.mu.Unlock()
+	return tc, true
 }
 
 // localCkpt returns this node's newest snapshot for a held job, or a

@@ -177,6 +177,7 @@ func (n *Node) fillReplicas(rt transport.Runtime, jobID ids.ID) {
 			n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 			n.rec.Record(Event{Kind: EvQuorumFailed, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr()})
 			n.record(EvGaveUp, prof, rt.Now())
+			n.retire(rt.Now(), jobID)
 			return
 		}
 		v.assigns++
@@ -197,7 +198,7 @@ func (n *Node) fillReplicas(rt transport.Runtime, jobID ids.ID) {
 			continue
 		}
 		tc = n.trace(tc, rt.Now(), "matched", prof.Attempt, run, n.traceNote("hops=%d visits=%d", stats.Hops, stats.Visits))
-		req := AssignReq{Prof: prof, Owner: n.host.Addr(), TC: tc}
+		req := AssignReq{Prof: prof, Owner: n.host.Addr(), Reps: n.replTargets(), TC: tc}
 		var assignErr error
 		if run == n.host.Addr() {
 			_, assignErr = n.assign(rt, req)

@@ -1,0 +1,51 @@
+package replica
+
+import (
+	"repro/internal/chord"
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// ChordRing adapts a chord node to the Ring interface: replica targets
+// are the node's successor list, and key ownership follows Chord's
+// successor rule (a key belongs to the first node at or after it).
+type ChordRing struct {
+	Node *chord.Node
+}
+
+// Self returns the chord node's address.
+func (r ChordRing) Self() transport.Addr { return r.Node.Ref().Addr }
+
+// Successors returns up to k distinct successor addresses, nearest
+// first, excluding this node itself (a successor list on a small ring
+// wraps around to self; replicating to self would be a no-op lie).
+func (r ChordRing) Successors(k int) []transport.Addr {
+	self := r.Node.Ref().Addr
+	var out []transport.Addr
+	seen := map[transport.Addr]bool{self: true}
+	for _, s := range r.Node.SuccessorList() {
+		if len(out) >= k {
+			break
+		}
+		if s.IsZero() || seen[s.Addr] {
+			continue
+		}
+		seen[s.Addr] = true
+		out = append(out, s.Addr)
+	}
+	return out
+}
+
+// Owns reports whether the key falls in (pred, self]. With no live
+// predecessor the node answers for the whole vacated arc — after heavy
+// churn two nodes may transiently both claim a key, which the replica
+// layer's epoch ordering and asymmetric fencing resolve once the ring
+// stabilizes.
+func (r ChordRing) Owns(key ids.ID) bool {
+	self := r.Node.Ref()
+	pred := r.Node.Predecessor()
+	if pred.IsZero() || pred.ID == self.ID {
+		return true
+	}
+	return ids.BetweenRightIncl(key, pred.ID, self.ID)
+}

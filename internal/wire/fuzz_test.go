@@ -5,10 +5,12 @@ import (
 	"encoding/gob"
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/transport"
 )
 
@@ -41,7 +43,7 @@ func FuzzWireDecode(f *testing.F) {
 	for _, msg := range []any{
 		grid.InjectReq{Client: "fuzz:1", Seq: 1, TC: tc},
 		grid.OwnReq{Prof: grid.Profile{ID: ids.HashString("fz")}, TC: tc},
-		grid.AssignReq{Owner: "fuzz:1", TC: tc},
+		grid.AssignReq{Owner: "fuzz:1", Reps: []transport.Addr{"fuzz:3"}, TC: tc},
 		grid.CompleteReq{JobID: ids.HashString("fz"), Run: "fuzz:2", TC: tc},
 		grid.ResultReq{Res: grid.Result{JobID: ids.HashString("fz")}, TC: tc},
 		grid.RelayReq{Res: grid.Result{JobID: ids.HashString("fz")}, TC: tc},
@@ -54,6 +56,20 @@ func FuzzWireDecode(f *testing.F) {
 			Peers:  []transport.Addr{"fuzz:2"},
 		},
 		grid.StatsResp{Stats: grid.NodeStats{Addr: "fuzz:1", Samples: []obs.Sample{{Name: "m", Value: 1}}}},
+		// Replication messages: seed populated encodings so mutations
+		// reach the record/meta surface (zero-value seeds omit every
+		// field under gob's delta encoding).
+		replica.PutReq{From: "fuzz:1", Recs: []replica.Record{
+			{Key: ids.HashString("fz"), Epoch: 1, Version: 2, Owner: "fuzz:1", Reps: []transport.Addr{"fuzz:2"}, Data: []byte{1, 2}},
+		}},
+		replica.PutResp{Newer: []replica.Record{{Key: ids.HashString("fz"), Epoch: 2, Owner: "fuzz:2", Deleted: true}}},
+		replica.SyncReq{From: "fuzz:1", Metas: []replica.Meta{{Key: ids.HashString("fz"), Epoch: 1, Version: 2, Owner: "fuzz:1"}}},
+		replica.SyncResp{Want: []ids.ID{ids.HashString("fz")}, Newer: []replica.Record{{Key: ids.HashString("fz"), Epoch: 3, Owner: "fuzz:3"}}},
+		replica.ProbeReq{From: "fuzz:2", Keys: []ids.ID{ids.HashString("fz")}},
+		replica.ProbeResp{Owned: []replica.Meta{{Key: ids.HashString("fz"), Epoch: 1, Version: 2, Owner: "fuzz:1"}}, Since: 7 * time.Second, Has: []ids.ID{ids.HashString("fz")}},
+		grid.ReplicasReq{JobID: ids.HashString("fz")},
+		grid.ReplicasResp{Status: replica.Status{Known: true, Owner: "fuzz:1", Epoch: 1, Version: 2,
+			Peers: []replica.PeerStatus{{Addr: "fuzz:2", Epoch: 1, Version: 2, Acked: true}}}},
 	} {
 		f.Add(encode(f, msg))
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/chord"
 	"repro/internal/grid"
 	"repro/internal/match"
+	"repro/internal/replica"
 	"repro/internal/rntree"
 )
 
@@ -52,6 +53,10 @@ func Messages() []any {
 		grid.CheckpointReq{}, grid.CheckpointResp{},
 		grid.ProbeJobReq{}, grid.ProbeJobResp{}, grid.TrustReq{}, grid.TrustResp{},
 		grid.StatsReq{}, grid.StatsResp{}, grid.TraceReq{}, grid.TraceResp{},
+		grid.ReplicasReq{}, grid.ReplicasResp{},
+		// replica
+		replica.PutReq{}, replica.PutResp{}, replica.SyncReq{}, replica.SyncResp{},
+		replica.ProbeReq{}, replica.ProbeResp{},
 		// match
 		match.ProbeReq{}, match.ProbeResp{},
 	}

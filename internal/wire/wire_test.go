@@ -3,12 +3,14 @@ package wire
 import (
 	"reflect"
 	"testing"
+	"time"
 
 	"repro/internal/can"
 	"repro/internal/chord"
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/replica"
 	"repro/internal/resource"
 	"repro/internal/rntree"
 	"repro/internal/transport"
@@ -69,6 +71,7 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 			Prof:  grid.Profile{ID: ids.HashString("job"), Client: "c:1", Work: 100},
 			Owner: "o:1",
 			Ckpt:  grid.Checkpoint{JobID: ids.HashString("job"), Run: "r:3", Done: 42e9},
+			Reps:  []transport.Addr{"s:1", "s:2"},
 		},
 		grid.AdoptReq{
 			Prof: grid.Profile{ID: ids.HashString("job"), Attempt: 2},
@@ -123,6 +126,34 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 		grid.TrustResp{Entries: []trust.Entry{
 			{Node: "r:1", Score: 0.85, Agreed: 7},
 			{Node: "r:2", Score: 0.1, Disagreed: 2, ProbesBad: 1, Blacklisted: true},
+		}},
+		// Replication protocol (DESIGN.md §10).
+		replica.PutReq{From: "o:1", Recs: []replica.Record{
+			{Key: ids.HashString("rj"), Epoch: 2, Version: 5, Owner: "o:1", Reps: []transport.Addr{"s:1", "s:2"}, Data: []byte{9, 8, 7}},
+			{Key: ids.HashString("rk"), Epoch: 1, Version: 3, Owner: "o:1", Deleted: true},
+		}},
+		replica.PutResp{Newer: []replica.Record{
+			{Key: ids.HashString("rj"), Epoch: 3, Version: 0, Owner: "o:2", Data: []byte{1}},
+		}},
+		replica.SyncReq{From: "o:1", Metas: []replica.Meta{
+			{Key: ids.HashString("rj"), Epoch: 2, Version: 5, Owner: "o:1"},
+			{Key: ids.HashString("rk"), Epoch: 1, Version: 3, Owner: "o:1", Deleted: true},
+		}},
+		replica.SyncResp{
+			Want:  []ids.ID{ids.HashString("rj")},
+			Newer: []replica.Record{{Key: ids.HashString("rk"), Epoch: 4, Version: 1, Owner: "o:3"}},
+		},
+		replica.ProbeReq{From: "s:1", Keys: []ids.ID{ids.HashString("rj"), ids.HashString("rk")}},
+		replica.ProbeResp{Owned: []replica.Meta{
+			{Key: ids.HashString("rj"), Epoch: 2, Version: 5, Owner: "o:1"},
+		}, Since: 42 * time.Second, Has: []ids.ID{ids.HashString("rj"), ids.HashString("rk")}},
+		grid.ReplicasReq{JobID: ids.HashString("rj")},
+		grid.ReplicasResp{Status: replica.Status{
+			Known: true, Owner: "o:1", Epoch: 2, Version: 5,
+			Peers: []replica.PeerStatus{
+				{Addr: "s:1", Epoch: 2, Version: 5, Acked: true},
+				{Addr: "s:2", Epoch: 2, Version: 4},
+			},
 		}},
 	}
 	for _, msg := range cases {
