@@ -57,6 +57,9 @@ func main() {
 		case "replicas":
 			replicasCmd(os.Args[2:])
 			return
+		case "bench":
+			benchCmd(os.Args[2:])
+			return
 		}
 	}
 	node := flag.String("node", "127.0.0.1:7001", "injection node address")

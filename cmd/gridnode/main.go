@@ -42,10 +42,22 @@ func main() {
 	quorum := flag.Int("quorum", 1, "matching result digests required to accept")
 	probeEvery := flag.Duration("probe-every", 0, "known-answer probe interval for blacklisted peers (0 = off)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /events, /debug/pprof ('' = off)")
+	transportMode := flag.String("transport", "pooled", "outbound call path: pooled (persistent framed conns) or perdial (one conn per call; benchmarking baseline)")
+	ownerCap := flag.Int("owner-cap", 0, "bound on jobs this node will own at once; beyond it injections are rejected with a retry-after hint (0 = unbounded)")
 	flag.Parse()
 
+	var topts nettransport.Opts
+	switch *transportMode {
+	case "pooled":
+	case "perdial":
+		topts.PerDial = true
+	default:
+		fmt.Fprintf(os.Stderr, "gridnode: unknown -transport %q (pooled|perdial)\n", *transportMode)
+		os.Exit(2)
+	}
+
 	wire.RegisterAll()
-	host, err := nettransport.Listen(*listen)
+	host, err := nettransport.ListenOpts(*listen, topts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "gridnode: %v\n", err)
 		os.Exit(1)
@@ -123,6 +135,7 @@ func main() {
 		Quorum:         *quorum,
 		Trust:          tb,
 		ProbeEvery:     *probeEvery,
+		OwnerCapacity:  *ownerCap,
 		Obs:            o,
 	})
 	rn.SetLoadFn(gn.QueueLen)

@@ -1,0 +1,130 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// Batched injection (DESIGN.md §11). One grid.injectbatch RPC carries
+// many submissions to an injection node, which routes every item and
+// then performs one grid.ownbatch handoff per distinct owner instead of
+// one grid.own per job. Results are positional: Results[i] answers
+// Items[i], and a per-item failure (routing, handoff, backpressure)
+// never poisons its batch-mates.
+
+// InjectBatch performs the injection-node role for a whole batch
+// locally. Exposed, like Inject, for clients that are themselves grid
+// nodes; the wire handler delegates here.
+func (n *Node) InjectBatch(rt transport.Runtime, reqs []InjectReq) []InjectResult {
+	began := rt.Now()
+	results := make([]InjectResult, len(reqs))
+
+	// Route every item first, grouping accepted ones by owner. Owner
+	// iteration order is sorted so the sim replays deterministically.
+	type pending struct {
+		idx  int
+		prof Profile
+		tc   obs.TC
+	}
+	byOwner := make(map[transport.Addr][]pending)
+	for i, req := range reqs {
+		prof := Profile{
+			ID:       JobGUID(req.Client, req.Seq, req.Attempt),
+			Client:   req.Client,
+			Seq:      req.Seq,
+			Attempt:  req.Attempt,
+			Cons:     req.Cons,
+			Work:     req.Work,
+			InputKB:  req.InputKB,
+			OutputKB: req.OutputKB,
+		}
+		tc := req.TC
+		if tc.Zero() {
+			tc = obs.TC{ID: TraceID(req.Client, req.Seq)}
+		}
+		owner, hops, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
+		if err != nil {
+			results[i].Err = fmt.Sprintf("route job %s: %v", prof.ID.Short(), err)
+			continue
+		}
+		tc = n.trace(tc, rt.Now(), "injected", prof.Attempt, owner, n.traceNote("hops=%d batch", hops))
+		n.rec.Record(Event{Kind: EvInjected, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr(), Hops: hops})
+		results[i].JobID = prof.ID
+		results[i].Owner = owner
+		results[i].Hops = hops
+		byOwner[owner] = append(byOwner[owner], pending{idx: i, prof: prof, tc: tc})
+	}
+	owners := make([]transport.Addr, 0, len(byOwner))
+	for o := range byOwner {
+		owners = append(owners, o)
+	}
+	sort.Slice(owners, func(i, j int) bool { return owners[i] < owners[j] })
+
+	for _, owner := range owners {
+		group := byOwner[owner]
+		if owner == n.host.Addr() {
+			for _, p := range group {
+				if err := n.ownJob(rt, p.prof, p.tc); err != nil {
+					setBatchErr(&results[p.idx], err)
+					continue
+				}
+				results[p.idx].Reps = n.replTargets()
+			}
+			continue
+		}
+		breq := OwnBatchReq{Items: make([]OwnReq, len(group))}
+		for k, p := range group {
+			breq.Items[k] = OwnReq{Prof: p.prof, TC: p.tc}
+		}
+		raw, err := rt.Call(owner, MOwnBatch, breq)
+		if err != nil {
+			for _, p := range group {
+				results[p.idx].Err = fmt.Sprintf("hand job %s to owner %s: %v", p.prof.ID.Short(), owner, err)
+			}
+			continue
+		}
+		bresp := raw.(OwnBatchResp)
+		for k, p := range group {
+			if k >= len(bresp.Results) {
+				results[p.idx].Err = fmt.Sprintf("owner %s: short batch response", owner)
+				continue
+			}
+			results[p.idx].Reps = bresp.Results[k].Reps
+			results[p.idx].RetryAfterMS = bresp.Results[k].RetryAfterMS
+		}
+	}
+	n.om.injectSecs.Observe((rt.Now() - began).Seconds())
+	return results
+}
+
+// setBatchErr renders a local ownJob failure into a positional result:
+// backpressure becomes the retry-after hint, anything else an opaque
+// per-item error string.
+func setBatchErr(res *InjectResult, err error) {
+	if ra, ok := err.(*RetryAfterError); ok {
+		res.RetryAfterMS = ra.After.Milliseconds()
+		return
+	}
+	res.Err = err.Error()
+}
+
+func (n *Node) handleInjectBatch(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	return InjectBatchResp{Results: n.InjectBatch(rt, req.(InjectBatchReq).Items)}, nil
+}
+
+// resultErr converts one positional InjectResult back into the typed
+// error space of Inject, so retry classification is identical on both
+// the single and batched paths.
+func (r InjectResult) resultErr() error {
+	if r.RetryAfterMS > 0 {
+		return &RetryAfterError{After: time.Duration(r.RetryAfterMS) * time.Millisecond}
+	}
+	if r.Err != "" {
+		return fmt.Errorf("%w: %s", errRoute, r.Err)
+	}
+	return nil
+}

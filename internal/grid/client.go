@@ -1,6 +1,7 @@
 package grid
 
 import (
+	"errors"
 	"sort"
 	"time"
 
@@ -32,6 +33,17 @@ func (n *Node) Submit(rt transport.Runtime, spec JobSpec) (ids.ID, error) {
 }
 
 func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt int) (ids.ID, error) {
+	req, jobID := n.prepareSubmit(rt, spec, seq, attempt)
+	if n.cfg.InjectFlushWindow > 0 {
+		return n.submitViaBatcher(rt, req, jobID)
+	}
+	return n.injectWithRetry(rt, req, jobID)
+}
+
+// prepareSubmit registers the pending entry and records the submission
+// before anything touches the network, so the client monitor can
+// recover the job even if every inject attempt afterwards fails.
+func (n *Node) prepareSubmit(rt transport.Runtime, spec JobSpec, seq, attempt int) (InjectReq, ids.ID) {
 	req := InjectReq{
 		Client:   n.host.Addr(),
 		Seq:      seq,
@@ -64,26 +76,245 @@ func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt in
 		Kind: EvSubmitted, JobID: jobID, Attempt: attempt, At: rt.Now(), Node: n.host.Addr(),
 		Seq: seq, Digest: ResultDigest(req.Client, seq, spec.OutputKB, ""),
 	})
+	return req, jobID
+}
+
+// injectWithRetry drives one submission through Inject with classified
+// retries, bounded by Config.InjectRetries total attempts:
+//
+//   - owner backpressure (*RetryAfterError): honor the hint — sleep the
+//     advertised window plus jitter, then try again;
+//   - routing failures and delivery-level errors (timeout, unreachable,
+//     down): the routed owner candidate is likely dead; each retry
+//     re-routes (under walk placement, a fresh walk), which lands
+//     elsewhere. Without the retry the job sits ownerless until the
+//     monitor's patience expires and resubmits it — a full patience
+//     window of latency for a submit-time failure;
+//   - anything else is a definitive answer from a live handler:
+//     retrying the same request cannot change it, so fail fast.
+func (n *Node) injectWithRetry(rt transport.Runtime, req InjectReq, jobID ids.ID) (ids.ID, error) {
 	resp, err := n.Inject(rt, req)
-	// An injection error usually means the routed owner candidate is
-	// dead or unreachable; each retry re-routes (under walk placement, a
-	// fresh walk), which lands elsewhere. Without the retry the job sits
-	// ownerless until the monitor's patience expires and resubmits it —
-	// a full patience window of latency for a submit-time failure.
-	for tries := 1; err != nil && tries < 3; tries++ {
-		rt.Sleep(time.Second)
+	for tries := 1; err != nil && tries < n.cfg.InjectRetries; tries++ {
+		switch cls, ra := classifyInjectErr(err); cls {
+		case injectRetryAfter:
+			rt.Sleep(jitterAfter(rt, ra))
+		case injectTransient:
+			rt.Sleep(time.Second)
+		default:
+			return jobID, err
+		}
 		resp, err = n.Inject(rt, req)
 	}
 	if err != nil {
 		return jobID, err
 	}
+	n.recordInjected(jobID, resp.Owner, resp.Reps)
+	return resp.JobID, nil
+}
+
+// recordInjected re-aims the pending entry at the owner that accepted
+// the job so the monitor probes the right place first.
+func (n *Node) recordInjected(jobID ids.ID, owner transport.Addr, reps []transport.Addr) {
 	n.mu.Lock()
 	if pp, ok := n.pending[jobID]; ok {
-		pp.owner = resp.Owner
-		pp.reps = resp.Reps
+		pp.owner = owner
+		pp.reps = reps
 	}
 	n.mu.Unlock()
-	return resp.JobID, nil
+}
+
+// injectClass is the retry policy bucket one inject error falls into.
+type injectClass int
+
+const (
+	// injectPermanent: a definitive answer from a live handler;
+	// retrying the identical request cannot change it.
+	injectPermanent injectClass = iota
+	// injectTransient: routing or delivery failed; a retry re-routes
+	// and lands elsewhere, so it is worth taking.
+	injectTransient
+	// injectRetryAfter: the owner shed the job under backpressure and
+	// told us when to come back.
+	injectRetryAfter
+)
+
+// classifyInjectErr sorts one inject failure into its retry bucket,
+// returning the owner's suggested wait for backpressure rejections.
+func classifyInjectErr(err error) (injectClass, time.Duration) {
+	var ra *RetryAfterError
+	switch {
+	case errors.As(err, &ra):
+		return injectRetryAfter, ra.After
+	case errors.Is(err, errRoute), transport.Transient(err):
+		return injectTransient, 0
+	}
+	return injectPermanent, 0
+}
+
+// jitterAfter spreads retry-after waits by up to +50% so clients that
+// were rejected together do not return together. The draw comes from
+// the caller's runtime stream, keeping simulation deterministic.
+func jitterAfter(rt transport.Runtime, after time.Duration) time.Duration {
+	if after <= 0 {
+		return time.Millisecond
+	}
+	return after + time.Duration(rt.Rand().Int63n(int64(after)/2+1))
+}
+
+// SubmitAll inserts many jobs at once through the batched injection
+// path: one grid.ownbatch handoff per distinct owner instead of one
+// round trip per job (plus grid.injectbatch when submitted through a
+// remote injection node via the wire). Every job is registered for
+// monitoring before injection, so jobs whose inject attempts all fail
+// are still recovered by the client monitor. It returns a GUID per
+// spec, positionally, plus the first inject error (informational — the
+// monitor will resubmit those jobs).
+func (n *Node) SubmitAll(rt transport.Runtime, specs []JobSpec) ([]ids.ID, error) {
+	jobIDs := make([]ids.ID, len(specs))
+	reqs := make([]InjectReq, len(specs))
+	n.mu.Lock()
+	base := n.clientSeq
+	n.clientSeq += len(specs)
+	n.mu.Unlock()
+	for i, spec := range specs {
+		reqs[i], jobIDs[i] = n.prepareSubmit(rt, spec, base+i+1, 0)
+	}
+	var firstErr error
+	chunk := n.cfg.InjectBatchMax
+	for lo := 0; lo < len(reqs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(reqs) {
+			hi = len(reqs)
+		}
+		results := n.injectBatchWithRetry(rt, reqs[lo:hi])
+		for k, res := range results {
+			if err := res.resultErr(); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			n.recordInjected(jobIDs[lo+k], res.Owner, res.Reps)
+		}
+	}
+	return jobIDs, firstErr
+}
+
+// injectBatchWithRetry applies the same classified retry policy as
+// injectWithRetry to a batch, re-injecting only the items that failed.
+// Batch item errors are route or handoff failures (both transient by
+// construction — owner admission is reported as RetryAfterMS, not an
+// error), so each round sleeps the longer of the transient backoff and
+// the largest jittered retry-after hint among the retryable items.
+func (n *Node) injectBatchWithRetry(rt transport.Runtime, reqs []InjectReq) []InjectResult {
+	results := n.InjectBatch(rt, reqs)
+	for tries := 1; tries < n.cfg.InjectRetries; tries++ {
+		var retry []int
+		var wait time.Duration
+		for i := range results {
+			err := results[i].resultErr()
+			if err == nil {
+				continue
+			}
+			retry = append(retry, i)
+			var ra *RetryAfterError
+			if errors.As(err, &ra) {
+				if a := jitterAfter(rt, ra.After); a > wait {
+					wait = a
+				}
+			} else if wait < time.Second {
+				wait = time.Second
+			}
+		}
+		if len(retry) == 0 {
+			break
+		}
+		rt.Sleep(wait)
+		sub := make([]InjectReq, len(retry))
+		for k, i := range retry {
+			sub[k] = reqs[i]
+		}
+		subres := n.InjectBatch(rt, sub)
+		for k, i := range retry {
+			results[i] = subres[k]
+		}
+	}
+	return results
+}
+
+// --- submit-side coalescing ---
+
+// batchItem is one submission waiting in the flush-window queue.
+type batchItem struct {
+	req  InjectReq
+	res  InjectResult
+	done bool
+}
+
+// submitViaBatcher coalesces concurrent Submit calls into batches: the
+// first enqueuer after a flush becomes the flusher, sleeps the window,
+// and injects everything queued behind it; later enqueuers wait for
+// their item to resolve. Waiting is by polling through rt.Sleep —
+// never by blocking on a channel — because under simulation a proc may
+// suspend only via its Runtime.
+func (n *Node) submitViaBatcher(rt transport.Runtime, req InjectReq, jobID ids.ID) (ids.ID, error) {
+	it := &batchItem{req: req}
+	n.batchMu.Lock()
+	n.batchQ = append(n.batchQ, it)
+	flusher := len(n.batchQ) == 1
+	n.batchMu.Unlock()
+	if flusher {
+		rt.Sleep(n.cfg.InjectFlushWindow)
+		n.flushBatch(rt)
+	}
+	poll := n.cfg.InjectFlushWindow / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	for {
+		n.batchMu.Lock()
+		done := it.done
+		n.batchMu.Unlock()
+		if done {
+			break
+		}
+		rt.Sleep(poll)
+	}
+	if err := it.res.resultErr(); err != nil {
+		return jobID, err
+	}
+	n.recordInjected(jobID, it.res.Owner, it.res.Reps)
+	return it.res.JobID, nil
+}
+
+// flushBatch drains the queue and injects it in InjectBatchMax chunks,
+// resolving each waiter's item as its chunk completes. Submissions
+// that arrive while a flush is in progress find an empty queue and
+// elect the next flusher.
+func (n *Node) flushBatch(rt transport.Runtime) {
+	n.batchMu.Lock()
+	items := n.batchQ
+	n.batchQ = nil
+	n.batchMu.Unlock()
+	chunk := n.cfg.InjectBatchMax
+	for lo := 0; lo < len(items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(items) {
+			hi = len(items)
+		}
+		part := items[lo:hi]
+		reqs := make([]InjectReq, len(part))
+		for k, it := range part {
+			reqs[k] = it.req
+		}
+		results := n.injectBatchWithRetry(rt, reqs)
+		n.batchMu.Lock()
+		for k, it := range part {
+			it.res = results[k]
+			it.done = true
+		}
+		n.batchMu.Unlock()
+	}
 }
 
 // AwaitAll blocks until every job this node submitted has a result or

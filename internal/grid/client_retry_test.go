@@ -1,0 +1,137 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// Unit tests for the submit-path retry classification (client.go):
+// delivery-level and routing failures retry, backpressure rejections
+// honor the owner's hint, and definitive handler answers fail fast.
+
+func TestClassifyInjectErr(t *testing.T) {
+	cases := []struct {
+		name  string
+		err   error
+		class injectClass
+		after time.Duration
+	}{
+		{"timeout", transport.ErrTimeout, injectTransient, 0},
+		{"unreachable wrapped", fmt.Errorf("grid: hand job x to owner y: %w", transport.ErrUnreachable), injectTransient, 0},
+		{"down wrapped", fmt.Errorf("call: %w: peer reported closed", transport.ErrDown), injectTransient, 0},
+		{"route failure", fmt.Errorf("%w: job x: no live owner", errRoute), injectTransient, 0},
+		{"retry after", &RetryAfterError{After: 750 * time.Millisecond}, injectRetryAfter, 750 * time.Millisecond},
+		{"retry after wrapped", fmt.Errorf("inject: %w", &RetryAfterError{After: time.Second}), injectRetryAfter, time.Second},
+		{"handler answer", errors.New("grid: node does not satisfy job constraints"), injectPermanent, 0},
+		{"no handler", transport.ErrNoHandler, injectPermanent, 0},
+	}
+	for _, tc := range cases {
+		cls, after := classifyInjectErr(tc.err)
+		if cls != tc.class || after != tc.after {
+			t.Errorf("%s: classified (%v, %v), want (%v, %v)", tc.name, cls, after, tc.class, tc.after)
+		}
+	}
+}
+
+// fixedRuntime satisfies the Rand-only needs of jitterAfter.
+type fixedRuntime struct {
+	transport.Runtime
+	rng *rand.Rand
+}
+
+func (f *fixedRuntime) Rand() *rand.Rand { return f.rng }
+
+func TestJitterAfterBounds(t *testing.T) {
+	rt := &fixedRuntime{rng: rand.New(rand.NewSource(1))}
+	base := 400 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		got := jitterAfter(rt, base)
+		if got < base || got > base+base/2 {
+			t.Fatalf("jitter %v outside [%v, %v]", got, base, base+base/2)
+		}
+	}
+	if got := jitterAfter(rt, 0); got <= 0 {
+		t.Fatalf("zero hint must still wait, got %v", got)
+	}
+}
+
+func TestInjectResultErr(t *testing.T) {
+	if err := (InjectResult{}).resultErr(); err != nil {
+		t.Fatalf("clean result errored: %v", err)
+	}
+	err := InjectResult{RetryAfterMS: 600}.resultErr()
+	cls, after := classifyInjectErr(err)
+	if cls != injectRetryAfter || after != 600*time.Millisecond {
+		t.Fatalf("retry-after result classified (%v, %v)", cls, after)
+	}
+	err = InjectResult{Err: "route job x: no live owner"}.resultErr()
+	if cls, _ := classifyInjectErr(err); cls != injectTransient {
+		t.Fatalf("route-failure result classified %v, want transient", cls)
+	}
+}
+
+// TestAdmitOwnBackoffScales checks admission control: under capacity
+// everything is admitted; at and past capacity the rejection hint grows
+// with overload depth and saturates at 10x the base.
+func TestAdmitOwnBackoffScales(t *testing.T) {
+	base := 100 * time.Millisecond
+	n := &Node{
+		cfg:   Config{OwnerCapacity: 2, RetryAfter: base}.withDefaults(),
+		owned: map[ids.ID]*ownedJob{},
+	}
+	admit := func() (time.Duration, bool) {
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		err := n.admitOwnLocked()
+		if err == nil {
+			return 0, true
+		}
+		var ra *RetryAfterError
+		if !errors.As(err, &ra) {
+			t.Fatalf("admission returned %T, want *RetryAfterError", err)
+		}
+		return ra.After, false
+	}
+	fill := func(k int) {
+		n.mu.Lock()
+		for len(n.owned) < k {
+			n.owned[ids.HashString(fmt.Sprintf("j%d", len(n.owned)))] = &ownedJob{}
+		}
+		n.mu.Unlock()
+	}
+	if _, ok := admit(); !ok {
+		t.Fatal("rejected below capacity")
+	}
+	fill(2)
+	atCap, ok := admit()
+	if ok {
+		t.Fatal("admitted at capacity")
+	}
+	if atCap != base {
+		t.Fatalf("at-capacity hint %v, want %v", atCap, base)
+	}
+	fill(5)
+	deeper, _ := admit()
+	if deeper <= atCap {
+		t.Fatalf("hint did not grow with overload: %v <= %v", deeper, atCap)
+	}
+	fill(200)
+	saturated, _ := admit()
+	if saturated != 10*base {
+		t.Fatalf("saturated hint %v, want %v", saturated, 10*base)
+	}
+	if _, ok := admit(); ok {
+		t.Fatal("admitted while far past capacity")
+	}
+	// Uncapacitated owners never reject.
+	n.cfg.OwnerCapacity = 0
+	if _, ok := admit(); !ok {
+		t.Fatal("capacity off but admission rejected")
+	}
+}

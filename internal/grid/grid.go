@@ -144,6 +144,33 @@ type Config struct {
 	// replica takes its keys over (default 3 s).
 	ReplicaDeadAfter time.Duration
 
+	// OwnerCapacity bounds the owner's inject queue: how many jobs one
+	// node will track as owner at once. Injections beyond it are
+	// rejected with a retry-after hint instead of growing the owned
+	// set without bound — a hot owner sheds load rather than
+	// collapsing (default 0: unbounded, the paper's behavior).
+	// Recovery paths (adoption, replica promotion) bypass the bound;
+	// shedding those would lose jobs that are already placed.
+	OwnerCapacity int
+	// RetryAfter is the base backoff an at-capacity owner suggests to
+	// rejected clients (default 500ms); clients jitter around it.
+	RetryAfter time.Duration
+	// InjectRetries bounds one submission's classified retry loop:
+	// transient delivery failures re-route and retry, retry-after
+	// rejections honor the owner's hint, anything else fails fast
+	// (default 3; the client monitor resubmits what the loop gives
+	// up on).
+	InjectRetries int
+	// InjectBatchMax caps how many jobs one grid.injectbatch /
+	// grid.ownbatch RPC carries (default 64).
+	InjectBatchMax int
+	// InjectFlushWindow, when set, coalesces concurrent Submit calls:
+	// a submission waits up to this long for peers to accumulate, then
+	// the whole batch travels in one routed grid.injectbatch RPC
+	// (default 0: off, every submission is its own RPC — the paper's
+	// behavior, and what deterministic replays of old seeds expect).
+	InjectFlushWindow time.Duration
+
 	// Obs, when set, attaches the live observability layer: lifecycle
 	// metrics feed its registry, job traces its tracer, and structured
 	// events its hub. Observability is trace-neutral — it never feeds
@@ -215,7 +242,27 @@ func (c Config) withDefaults() Config {
 	if c.ReplicaDeadAfter == 0 {
 		c.ReplicaDeadAfter = 3 * time.Second
 	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.InjectRetries == 0 {
+		c.InjectRetries = 3
+	}
+	if c.InjectBatchMax == 0 {
+		c.InjectBatchMax = 64
+	}
 	return c
+}
+
+// RetryAfterError is an owner's backpressure rejection: the inject
+// queue is full and the client should try again after the suggested
+// backoff (with jitter). On the wire it travels as the RetryAfterMS
+// field of the response payload — identically over both transports —
+// and is reconstructed into this type client-side.
+type RetryAfterError struct{ After time.Duration }
+
+func (e *RetryAfterError) Error() string {
+	return fmt.Sprintf("grid: owner at capacity, retry after %s", e.After)
 }
 
 // votingOn reports whether the redundant-execution/quorum-voting path
@@ -366,6 +413,8 @@ const (
 	EvHandoff  // a promoted/restored owner re-established the execution path
 	EvDemoted  // a stale owner stood down after being fenced
 	EvRestored // a replica handed a restarted owner its job state back
+	// Backpressure events (appended; see DESIGN.md §11).
+	EvInjectRejected // an at-capacity owner refused an injection with retry-after
 )
 
 var eventNames = [...]string{
@@ -376,6 +425,7 @@ var eventNames = [...]string{
 	"voted", "accepted", "rejected", "quorum-failed", "reputation",
 	"blacklisted", "probed",
 	"promoted", "handoff", "demoted", "restored",
+	"inject-rejected",
 }
 
 func (k EventKind) String() string {

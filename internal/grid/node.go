@@ -44,11 +44,37 @@ type (
 	// InjectResp confirms insertion: the assigned GUID and owner, plus
 	// (with replication on) the owner's ranked replica target list so
 	// the client's monitor can probe the chain if the owner goes silent.
+	// RetryAfterMS, when non-zero, is an owner backpressure rejection
+	// instead: nothing was inserted, try again after that many
+	// milliseconds (plus jitter).
 	InjectResp struct {
-		JobID ids.ID
-		Owner transport.Addr
-		Hops  int
-		Reps  []transport.Addr
+		JobID        ids.ID
+		Owner        transport.Addr
+		Hops         int
+		Reps         []transport.Addr
+		RetryAfterMS int64
+	}
+	// InjectBatchReq carries many submissions through one routed RPC —
+	// the high-throughput injection path (DESIGN.md §11).
+	InjectBatchReq struct {
+		Items []InjectReq
+	}
+	// InjectBatchResp answers positionally: Results[i] is Items[i]'s
+	// outcome.
+	InjectBatchResp struct {
+		Results []InjectResult
+	}
+	// InjectResult is one batched item's outcome: an accepted job
+	// carries its GUID/owner/replica chain; an owner rejection carries
+	// RetryAfterMS; a routing or handoff failure carries Err (transient
+	// — the client re-routes and retries).
+	InjectResult struct {
+		JobID        ids.ID
+		Owner        transport.Addr
+		Hops         int
+		Reps         []transport.Addr
+		RetryAfterMS int64
+		Err          string
 	}
 	// OwnReq hands a job profile to its owner node.
 	OwnReq struct {
@@ -57,8 +83,28 @@ type (
 	}
 	// OwnResp acknowledges ownership. Reps is the new owner's ranked
 	// replica target list (nil when replication is off), handed back
-	// through injection to the submitting client.
-	OwnResp struct{ Reps []transport.Addr }
+	// through injection to the submitting client. RetryAfterMS, when
+	// non-zero, is a backpressure rejection: the owner is at capacity
+	// and took nothing.
+	OwnResp struct {
+		Reps         []transport.Addr
+		RetryAfterMS int64
+	}
+	// OwnBatchReq hands every profile the injection node routed to one
+	// owner over in a single RPC.
+	OwnBatchReq struct {
+		Items []OwnReq
+	}
+	// OwnBatchResp answers positionally; items beyond the owner's
+	// remaining capacity carry RetryAfterMS.
+	OwnBatchResp struct {
+		Results []OwnResult
+	}
+	// OwnResult is one batched handoff's outcome.
+	OwnResult struct {
+		Reps         []transport.Addr
+		RetryAfterMS int64
+	}
 	// AssignReq enqueues a job at a run node. Ckpt, when non-zero,
 	// carries the owner's latest checkpoint so the run node resumes
 	// from saved progress instead of restarting. Reps, when replication
@@ -171,8 +217,10 @@ type (
 
 // Method names registered on the host.
 const (
-	MInject    = "grid.inject"
-	MOwn       = "grid.own"
+	MInject      = "grid.inject"
+	MInjectBatch = "grid.injectbatch"
+	MOwn         = "grid.own"
+	MOwnBatch    = "grid.ownbatch"
 	MAssign    = "grid.assign"
 	MHeartbeat = "grid.heartbeat"
 	MComplete  = "grid.complete"
@@ -276,6 +324,11 @@ type Node struct {
 	clientSeq int
 	pending   map[ids.ID]*pendingJob
 
+	// submit-side coalescing queue (client.go); guarded by its own
+	// mutex so slow flushes never contend with the job-state lock.
+	batchMu sync.Mutex
+	batchQ  []*batchItem
+
 	// failObs holds recent failure-signal instants (owner declared
 	// dead, resumed assignment received) feeding the adaptive
 	// checkpoint interval.
@@ -337,7 +390,9 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 		n.rec = &obsTee{n: n, hub: n.cfg.Obs.GetHub(), next: n.rec}
 	}
 	host.Handle(MInject, n.handleInject)
+	host.Handle(MInjectBatch, n.handleInjectBatch)
 	host.Handle(MOwn, n.handleOwn)
+	host.Handle(MOwnBatch, n.handleOwnBatch)
 	host.Handle(MAssign, n.handleAssign)
 	host.Handle(MHeartbeat, n.handleHeartbeat)
 	host.Handle(MComplete, n.handleComplete)
@@ -437,10 +492,18 @@ func (n *Node) record(kind EventKind, prof Profile, at time.Duration, extra ...M
 
 // --- injection ---
 
+// errRoute marks an owner-routing failure. Routing depends on live
+// ring state, so these are always worth retrying (a fresh route lands
+// elsewhere) — the submit loop classifies them as transient.
+var errRoute = errors.New("grid: owner routing failed")
+
 // Inject performs the injection-node role locally: assign a GUID,
 // route to the owner, and hand the job over. Exposed for clients that
-// are themselves grid nodes.
+// are themselves grid nodes. An owner backpressure rejection returns a
+// *RetryAfterError (and a response whose RetryAfterMS mirrors it, for
+// wire callers).
 func (n *Node) Inject(rt transport.Runtime, req InjectReq) (InjectResp, error) {
+	began := rt.Now()
 	prof := Profile{
 		ID:       JobGUID(req.Client, req.Seq, req.Attempt),
 		Client:   req.Client,
@@ -459,24 +522,49 @@ func (n *Node) Inject(rt transport.Runtime, req InjectReq) (InjectResp, error) {
 	}
 	owner, hops, err := n.overlay.RouteJob(rt, prof.ID, prof.Cons)
 	if err != nil {
-		return InjectResp{}, fmt.Errorf("grid: route job %s: %w", prof.ID.Short(), err)
+		return InjectResp{}, fmt.Errorf("%w: job %s: %v", errRoute, prof.ID.Short(), err)
 	}
 	tc = n.trace(tc, rt.Now(), "injected", prof.Attempt, owner, n.traceNote("hops=%d", hops))
 	n.rec.Record(Event{Kind: EvInjected, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr(), Hops: hops})
 	var reps []transport.Addr
 	if owner == n.host.Addr() {
-		n.ownJob(rt, prof, tc)
+		if err := n.ownJob(rt, prof, tc); err != nil {
+			return injectRejection(err)
+		}
 		reps = n.replTargets()
 	} else if raw, err := rt.Call(owner, MOwn, OwnReq{Prof: prof, TC: tc}); err != nil {
 		return InjectResp{}, fmt.Errorf("grid: hand job %s to owner %s: %w", prof.ID.Short(), owner, err)
 	} else {
-		reps = raw.(OwnResp).Reps
+		oresp := raw.(OwnResp)
+		if oresp.RetryAfterMS > 0 {
+			return injectRejection(&RetryAfterError{After: time.Duration(oresp.RetryAfterMS) * time.Millisecond})
+		}
+		reps = oresp.Reps
 	}
+	n.om.injectSecs.Observe((rt.Now() - began).Seconds())
 	return InjectResp{JobID: prof.ID, Owner: owner, Hops: hops, Reps: reps}, nil
+}
+
+// injectRejection renders an owner rejection both ways at once: as the
+// typed error for in-process callers and as the RetryAfterMS response
+// field for wire callers.
+func injectRejection(err error) (InjectResp, error) {
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		return InjectResp{RetryAfterMS: ra.After.Milliseconds()}, ra
+	}
+	return InjectResp{}, err
 }
 
 func (n *Node) handleInject(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	resp, err := n.Inject(rt, req.(InjectReq))
+	var ra *RetryAfterError
+	if errors.As(err, &ra) {
+		// Backpressure is an answer, not a handler failure: it crosses
+		// the wire in the response payload so the typed hint survives
+		// both transports.
+		return resp, nil
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -487,17 +575,64 @@ func (n *Node) handleInject(rt transport.Runtime, from transport.Addr, req any) 
 
 func (n *Node) handleOwn(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	o := req.(OwnReq)
-	n.ownJob(rt, o.Prof, o.TC)
+	if err := n.ownJob(rt, o.Prof, o.TC); err != nil {
+		var ra *RetryAfterError
+		if errors.As(err, &ra) {
+			return OwnResp{RetryAfterMS: ra.After.Milliseconds()}, nil
+		}
+		return nil, err
+	}
 	return OwnResp{Reps: n.replTargets()}, nil
 }
 
+func (n *Node) handleOwnBatch(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+	b := req.(OwnBatchReq)
+	out := make([]OwnResult, len(b.Items))
+	for i, it := range b.Items {
+		if err := n.ownJob(rt, it.Prof, it.TC); err != nil {
+			var ra *RetryAfterError
+			if !errors.As(err, &ra) {
+				return nil, err
+			}
+			out[i].RetryAfterMS = ra.After.Milliseconds()
+			continue
+		}
+		out[i].Reps = n.replTargets()
+	}
+	return OwnBatchResp{Results: out}, nil
+}
+
+// admitOwnLocked applies the bounded inject queue: with OwnerCapacity
+// set and the owned map full, new injections are refused with a
+// retry-after hint scaled by how far past capacity demand is pushing.
+// Called under n.mu.
+func (n *Node) admitOwnLocked() error {
+	if n.cfg.OwnerCapacity <= 0 || len(n.owned) < n.cfg.OwnerCapacity {
+		return nil
+	}
+	over := len(n.owned) - n.cfg.OwnerCapacity
+	after := n.cfg.RetryAfter * time.Duration(1+over)
+	if max := 10 * n.cfg.RetryAfter; after > max {
+		after = max
+	}
+	return &RetryAfterError{After: after}
+}
+
 // ownJob records ownership and starts matchmaking asynchronously so the
-// injection path acknowledges quickly.
-func (n *Node) ownJob(rt transport.Runtime, prof Profile, tc obs.TC) {
+// injection path acknowledges quickly. It returns a *RetryAfterError
+// when the bounded inject queue is full (nothing recorded). Recovery
+// paths (adoption, promotion) do not come through here and are never
+// shed.
+func (n *Node) ownJob(rt transport.Runtime, prof Profile, tc obs.TC) error {
 	n.mu.Lock()
 	if _, dup := n.owned[prof.ID]; dup {
 		n.mu.Unlock()
-		return
+		return nil
+	}
+	if err := n.admitOwnLocked(); err != nil {
+		n.mu.Unlock()
+		n.rec.Record(Event{Kind: EvInjectRejected, JobID: prof.ID, Attempt: prof.Attempt, At: rt.Now(), Node: n.host.Addr()})
+		return err
 	}
 	job := &ownedJob{prof: prof, lastHB: rt.Now(), matching: true, tc: tc}
 	if n.cfg.votingOn() {
@@ -514,11 +649,12 @@ func (n *Node) ownJob(rt transport.Runtime, prof Profile, tc obs.TC) {
 		n.host.Go("grid.match", func(rt transport.Runtime) {
 			n.fillReplicas(rt, prof.ID)
 		})
-		return
+		return nil
 	}
 	n.host.Go("grid.match", func(rt transport.Runtime) {
 		n.matchAndAssign(rt, prof.ID)
 	})
+	return nil
 }
 
 // matchAndAssign chooses a run node for an owned job and hands the job

@@ -29,6 +29,7 @@ type nodeObs struct {
 	matchHops   *obs.Histogram // overlay messages per successful match
 	matchVisits *obs.Histogram // nodes examined per successful match
 	injectHops  *obs.Histogram // owner-routing hops per injection
+	injectSecs  *obs.Histogram // route + owner-handoff latency per accepted injection
 
 	hbSent   *obs.Counter // heartbeat RPCs sent (run-node side)
 	hbAcked  *obs.Counter // heartbeat RPCs answered
@@ -51,6 +52,7 @@ func newNodeObs(n *Node, o *obs.Obs) *nodeObs {
 		matchHops:   r.Histogram("grid_match_hops", obs.DefBucketsHops),
 		matchVisits: r.Histogram("grid_match_visits", obs.DefBucketsHops),
 		injectHops:  r.Histogram("grid_inject_hops", obs.DefBucketsHops),
+		injectSecs:  r.Histogram("grid_inject_seconds", obs.DefBucketsSeconds),
 		hbSent:      r.Counter("grid_heartbeats_sent_total"),
 		hbAcked:     r.Counter("grid_heartbeats_acked_total"),
 		hbFailed:    r.Counter("grid_heartbeat_failures_total"),

@@ -1,0 +1,110 @@
+package nettransport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// The framed codec: every message on a connection is one
+// length-prefixed frame (4-byte big-endian length, then a gob-encoded
+// frame struct). Frames are self-delimiting, so one persistent
+// connection carries many concurrent requests in both directions;
+// request IDs pair responses with callers. Each frame is encoded with
+// a fresh gob encoder — type descriptors are re-sent per frame, a few
+// hundred bytes of overhead that buys frame independence: a decode
+// failure poisons one frame boundary, not an entire long-lived stream
+// state.
+
+// Frame kinds.
+const (
+	frameReq  = 1
+	frameResp = 2
+)
+
+// Response error kinds carried in frame.ErrKind.
+const (
+	errNone      = 0
+	errNoHandler = 1 // no handler registered for the method
+	errHandler   = 2 // handler returned an error
+	errDown      = 3 // peer is not serving: host closed or stream unusable
+)
+
+// maxFrame bounds a single frame's payload; anything larger is a
+// protocol error (checkpoint payloads cap in the low MBs).
+const maxFrame = 64 << 20
+
+// frame is the unit of the wire protocol.
+type frame struct {
+	Kind byte
+	// ID pairs a response with its request. ID 0 is reserved for
+	// connection-scoped error responses (a decode failure leaves the
+	// server unable to name the request it was parsing).
+	ID     uint64
+	Method string // request only
+	From   string // request only
+	// TimeoutMS is the caller's remaining time budget. The server
+	// derives the response write deadline from it, so a slow handler's
+	// reply is bounded by what the caller asked for — not by a fixed
+	// server-side constant.
+	TimeoutMS int64
+	Payload   any
+	ErrMsg    string // response only
+	ErrKind   int    // response only
+}
+
+// encodeFrame renders f as [length][gob bytes], ready for one write.
+func encodeFrame(f *frame) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
+	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+		return nil, fmt.Errorf("nettransport: encode frame: %w", err)
+	}
+	b := buf.Bytes()
+	n := len(b) - 4
+	if n > maxFrame {
+		return nil, fmt.Errorf("nettransport: frame too large (%d bytes)", n)
+	}
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	return b, nil
+}
+
+// writeFrame sends one frame under the connection's write lock with the
+// given deadline. A zero deadline means no deadline.
+func writeFrame(conn net.Conn, wmu *sync.Mutex, f *frame, deadline time.Time) error {
+	b, err := encodeFrame(f)
+	if err != nil {
+		return err
+	}
+	wmu.Lock()
+	defer wmu.Unlock()
+	_ = conn.SetWriteDeadline(deadline)
+	_, err = conn.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame from r.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("nettransport: bad frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var f frame
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&f); err != nil {
+		return nil, fmt.Errorf("nettransport: decode frame: %w", err)
+	}
+	return &f, nil
+}

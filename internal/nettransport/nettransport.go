@@ -1,13 +1,22 @@
-// Package nettransport implements transport.Host over real TCP sockets
-// with gob framing. The same Chord, CAN, RN-Tree, and grid protocol
-// code that runs under the simulator runs over this transport in live
+// Package nettransport implements transport.Host over real TCP
+// sockets. The same Chord, CAN, RN-Tree, and grid protocol code that
+// runs under the simulator runs over this transport in live
 // deployments (cmd/gridnode); only the Host/Runtime binding changes.
+//
+// The wire protocol is a length-prefixed framed codec over persistent
+// pooled connections (see frame.go): one connection per peer carries
+// many concurrent requests, paired to responses by ID, with per-call
+// deadlines carried in the request envelope, idle reaping on both
+// sides, and reconnect-on-error. Opts.PerDial restores the historical
+// dial-per-call behavior as a benchmarking baseline
+// (scripts/live_bench.sh measures the difference).
 package nettransport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"sync"
@@ -21,32 +30,48 @@ import (
 // DefaultCallTimeout bounds Call when no explicit timeout is given.
 const DefaultCallTimeout = 5 * time.Second
 
-// envelope frames one request on the wire.
-type envelope struct {
-	Method  string
-	From    string
-	Payload any
-}
-
-// reply frames one response.
-type reply struct {
-	Payload any
-	ErrMsg  string
-	ErrKind int // 0 none, 1 no-handler, 2 handler error
-}
-
 var seedCounter int64
+
+// Opts tunes a Host. The zero value selects the defaults.
+type Opts struct {
+	// PerDial disables connection pooling: every call dials a fresh
+	// TCP connection, sends one framed request, and closes it. This is
+	// the pre-pooling baseline, kept for benchmarking.
+	PerDial bool
+	// IdleTimeout reaps connections (pooled client conns and inbound
+	// server conns) with no traffic and no in-flight calls
+	// (default 60s).
+	IdleTimeout time.Duration
+	// CloseDrain bounds how long Close waits for the accept loop and
+	// in-flight handlers to finish before returning (default 2s).
+	CloseDrain time.Duration
+}
+
+func (o Opts) withDefaults() Opts {
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 60 * time.Second
+	}
+	if o.CloseDrain == 0 {
+		o.CloseDrain = 2 * time.Second
+	}
+	return o
+}
 
 // Host is one process's TCP attachment to the grid.
 type Host struct {
 	ln    net.Listener
 	addr  transport.Addr
 	start time.Time
+	opts  Opts
+	pool  *pool
+	done  chan struct{} // closed when the host closes
 
 	mu       sync.Mutex
 	handlers map[string]transport.Handler
 	closed   bool
-	wg       sync.WaitGroup
+	conns    map[net.Conn]struct{} // live inbound connections
+	wg       sync.WaitGroup        // Go() activities (may be long-lived)
+	connWg   sync.WaitGroup        // accept loop + inbound conns + in-flight handlers
 
 	obsv atomic.Pointer[rpcObs]
 }
@@ -83,7 +108,9 @@ func (ro *rpcObs) method(cache *sync.Map, side, method string) *methodObs {
 
 // SetObs attaches an observability sink: per-method client/server call
 // counts, error counts, latency histograms, and total bytes moved in
-// each direction. Passing nil detaches. Safe to call at any time.
+// each direction. Passing nil detaches. Safe to call at any time;
+// connections opened before attachment keep counting with their
+// original (possibly nil) sinks.
 func (h *Host) SetObs(o *obs.Obs) {
 	reg := o.Registry()
 	if reg == nil {
@@ -115,9 +142,14 @@ func (c *countingConn) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Listen binds a host to a TCP address ("127.0.0.1:0" picks a free
-// port; Addr reports the actual one).
+// Listen binds a pooled host to a TCP address ("127.0.0.1:0" picks a
+// free port; Addr reports the actual one).
 func Listen(addr string) (*Host, error) {
+	return ListenOpts(addr, Opts{})
+}
+
+// ListenOpts binds a host with explicit transport options.
+func ListenOpts(addr string, opts Opts) (*Host, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("nettransport: listen %s: %w", addr, err)
@@ -126,9 +158,14 @@ func Listen(addr string) (*Host, error) {
 		ln:       ln,
 		addr:     transport.Addr(ln.Addr().String()),
 		start:    time.Now(),
+		opts:     opts.withDefaults(),
+		done:     make(chan struct{}),
 		handlers: make(map[string]transport.Handler),
+		conns:    make(map[net.Conn]struct{}),
 	}
-	h.wg.Add(1)
+	h.pool = newPool(h)
+	go h.pool.reapLoop()
+	h.connWg.Add(1)
 	go h.acceptLoop()
 	return h, nil
 }
@@ -151,7 +188,8 @@ func (h *Host) Handle(method string, fn transport.Handler) {
 }
 
 // Go implements transport.Host: fn runs on its own goroutine with a
-// live runtime.
+// live runtime. Activities are commonly infinite loops, so Close does
+// not wait for them (unlike in-flight RPC handlers, which it drains).
 func (h *Host) Go(name string, fn func(rt transport.Runtime)) {
 	h.wg.Add(1)
 	go func() {
@@ -160,8 +198,12 @@ func (h *Host) Go(name string, fn func(rt transport.Runtime)) {
 	}()
 }
 
-// Close shuts the listener down. In-flight handlers finish; subsequent
-// calls to this host fail.
+// Close shuts the host down: the listener stops, pooled and inbound
+// connections close (failing their pending calls fast), and the accept
+// loop plus in-flight handlers are drained — bounded by
+// Opts.CloseDrain — before Close returns, so a caller may immediately
+// re-listen on the same address without racing the old host's
+// goroutines.
 func (h *Host) Close() {
 	h.mu.Lock()
 	if h.closed {
@@ -169,8 +211,51 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	conns := make([]net.Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
 	h.mu.Unlock()
+	close(h.done)
 	h.ln.Close()
+	h.pool.closeAll()
+	for _, c := range conns {
+		c.Close()
+	}
+	drained := make(chan struct{})
+	go func() {
+		h.connWg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-time.After(h.opts.CloseDrain):
+	}
+}
+
+func (h *Host) isClosed() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.closed
+}
+
+// registerConn tracks an inbound connection for teardown on Close. It
+// reports false (and closes the conn) when the host already closed.
+func (h *Host) registerConn(conn net.Conn) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		conn.Close()
+		return false
+	}
+	h.conns[conn] = struct{}{}
+	return true
+}
+
+func (h *Host) dropConn(conn net.Conn) {
+	h.mu.Lock()
+	delete(h.conns, conn)
+	h.mu.Unlock()
 }
 
 func (h *Host) newRuntime() *runtime {
@@ -182,67 +267,134 @@ func (h *Host) newRuntime() *runtime {
 }
 
 func (h *Host) acceptLoop() {
-	defer h.wg.Done()
+	defer h.connWg.Done()
 	for {
 		conn, err := h.ln.Accept()
 		if err != nil {
 			return // listener closed
 		}
-		h.wg.Add(1)
+		if !h.registerConn(conn) {
+			return
+		}
+		h.connWg.Add(1)
 		go func() {
-			defer h.wg.Done()
+			defer h.connWg.Done()
 			h.serveConn(conn)
 		}()
 	}
 }
 
-// serveConn handles one request per connection (simple and robust; the
-// grid's direct heartbeat connections are cheap at these rates).
-func (h *Host) serveConn(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
-	ro := h.obsv.Load()
-	if ro != nil {
+// serveConn demultiplexes one inbound framed connection: requests are
+// served concurrently (each on its own goroutine), responses are
+// written back under the connection's write lock. The loop exits when
+// the peer hangs up, the host closes, or the connection sits idle past
+// IdleTimeout with no handler in flight.
+func (h *Host) serveConn(rawConn net.Conn) {
+	defer func() {
+		h.dropConn(rawConn)
+		rawConn.Close()
+	}()
+	conn := rawConn
+	if ro := h.obsv.Load(); ro != nil {
 		conn = &countingConn{Conn: conn, in: ro.bytesIn, out: ro.bytesOut}
 	}
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
-	var env envelope
-	if err := dec.Decode(&env); err != nil {
-		return
+	br := bufio.NewReader(conn)
+	var wmu sync.Mutex
+	var inflight atomic.Int64
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(h.opts.IdleTimeout))
+		f, err := readFrame(br)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				if inflight.Load() > 0 {
+					continue // a slow handler is not idleness
+				}
+				return // idle reap
+			}
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) || h.isClosed() {
+				return
+			}
+			// Decode failure on a live stream: frame sync is gone, so
+			// nothing further can be answered. Say so (connection-scoped
+			// error, ID 0) before closing — otherwise every call pending
+			// on this connection blocks out its full deadline and
+			// reports a timeout for what is really an unusable peer.
+			_ = writeFrame(conn, &wmu, &frame{
+				Kind: frameResp, ErrKind: errDown, ErrMsg: "bad frame: " + err.Error(),
+			}, time.Now().Add(time.Second))
+			return
+		}
+		if f.Kind != frameReq {
+			continue
+		}
+		if h.isClosed() {
+			_ = writeFrame(conn, &wmu, &frame{
+				Kind: frameResp, ID: f.ID, ErrKind: errDown, ErrMsg: "host closed",
+			}, time.Now().Add(time.Second))
+			continue
+		}
+		inflight.Add(1)
+		h.connWg.Add(1)
+		go func(f *frame, recv time.Time) {
+			defer h.connWg.Done()
+			defer inflight.Add(-1)
+			h.serveRequest(conn, &wmu, f, recv)
+		}(f, time.Now())
 	}
+}
+
+// serveRequest runs one handler and writes its response. The response
+// write deadline comes from the caller's own timeout (carried in the
+// envelope), so a handler slower than any fixed server-side constant
+// still gets its reply delivered as long as the caller is waiting.
+func (h *Host) serveRequest(conn net.Conn, wmu *sync.Mutex, f *frame, recv time.Time) {
+	timeout := time.Duration(f.TimeoutMS) * time.Millisecond
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
+	deadline := recv.Add(timeout)
 	h.mu.Lock()
-	fn, ok := h.handlers[env.Method]
+	fn, ok := h.handlers[f.Method]
 	closed := h.closed
 	h.mu.Unlock()
+	resp := &frame{Kind: frameResp, ID: f.ID}
 	if closed {
+		resp.ErrKind = errDown
+		resp.ErrMsg = "host closed"
+		_ = writeFrame(conn, wmu, resp, deadline)
 		return
 	}
+	ro := h.obsv.Load()
 	var mo *methodObs
 	var began time.Time
 	if ro != nil {
-		mo = ro.method(&ro.server, "server", env.Method)
+		mo = ro.method(&ro.server, "server", f.Method)
 		mo.calls.Inc()
 		began = time.Now()
 	}
-	var rep reply
 	if !ok {
-		rep = reply{ErrMsg: env.Method, ErrKind: 1}
+		resp.ErrKind = errNoHandler
+		resp.ErrMsg = f.Method
 	} else {
-		resp, err := fn(h.newRuntime(), transport.Addr(env.From), env.Payload)
+		out, err := fn(h.newRuntime(), transport.Addr(f.From), f.Payload)
 		if err != nil {
-			rep = reply{ErrMsg: err.Error(), ErrKind: 2}
+			resp.ErrKind = errHandler
+			resp.ErrMsg = err.Error()
 		} else {
-			rep = reply{Payload: resp}
+			resp.Payload = out
 		}
 	}
 	if mo != nil {
 		mo.secs.Observe(time.Since(began).Seconds())
-		if rep.ErrKind != 0 {
+		if resp.ErrKind != errNone {
 			mo.errs.Inc()
 		}
 	}
-	_ = enc.Encode(&rep)
+	if !time.Now().Before(deadline) {
+		return // the caller has given up; nobody is reading this reply
+	}
+	_ = writeFrame(conn, wmu, resp, deadline)
 }
 
 // runtime is the live (wall-clock) transport.Runtime.
@@ -260,6 +412,9 @@ func (r *runtime) Call(to transport.Addr, method string, req any) (any, error) {
 }
 
 func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.Duration) (any, error) {
+	if timeout <= 0 {
+		timeout = DefaultCallTimeout
+	}
 	if !r.h.Up() {
 		return nil, transport.ErrDown
 	}
@@ -271,45 +426,101 @@ func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.
 		began := time.Now()
 		defer func() { mo.secs.Observe(time.Since(began).Seconds()) }()
 	}
+	var rf *frame
+	var err error
+	if r.h.opts.PerDial {
+		rf, err = r.h.callPerDial(to, method, req, timeout)
+	} else {
+		rf, err = r.h.callPooled(to, method, req, timeout)
+	}
+	if err != nil {
+		mo.errCount()
+		return nil, mapCallErr(err)
+	}
+	switch rf.ErrKind {
+	case errNoHandler:
+		mo.errCount()
+		return nil, fmt.Errorf("%w: %s on %s", transport.ErrNoHandler, rf.ErrMsg, to)
+	case errHandler:
+		mo.errCount()
+		return nil, errors.New(rf.ErrMsg)
+	case errDown:
+		mo.errCount()
+		return nil, fmt.Errorf("%w: %s reported: %s", transport.ErrDown, to, rf.ErrMsg)
+	}
+	return rf.Payload, nil
+}
+
+// callPooled performs one call over the peer's pooled connection,
+// reconnecting once when a previously-pooled connection turns out to
+// have died before the request reached the wire (peer restart between
+// calls).
+func (h *Host) callPooled(to transport.Addr, method string, req any, timeout time.Duration) (*frame, error) {
+	pc, reused, err := h.pool.get(to, timeout)
+	if err != nil {
+		return nil, err
+	}
+	rf, wrote, err := pc.call(method, h.addr, req, timeout)
+	if err != nil && !wrote && reused {
+		pc, _, err2 := h.pool.get(to, timeout)
+		if err2 != nil {
+			return nil, err2
+		}
+		rf, _, err = pc.call(method, h.addr, req, timeout)
+	}
+	return rf, err
+}
+
+// callPerDial is the baseline path: dial, one framed request, close.
+func (h *Host) callPerDial(to transport.Addr, method string, req any, timeout time.Duration) (*frame, error) {
 	deadline := time.Now().Add(timeout)
 	conn, err := net.DialTimeout("tcp", string(to), timeout)
 	if err != nil {
-		mo.errCount()
-		var nerr net.Error
-		if errors.As(err, &nerr) && nerr.Timeout() {
-			return nil, transport.ErrTimeout
-		}
-		return nil, transport.ErrUnreachable
+		return nil, err
 	}
 	defer conn.Close()
-	if ro != nil {
+	if ro := h.obsv.Load(); ro != nil {
 		conn = &countingConn{Conn: conn, in: ro.bytesIn, out: ro.bytesOut}
 	}
 	_ = conn.SetDeadline(deadline)
-	enc := gob.NewEncoder(conn)
-	dec := gob.NewDecoder(conn)
-	if err := enc.Encode(&envelope{Method: method, From: string(r.h.addr), Payload: req}); err != nil {
-		mo.errCount()
-		return nil, fmt.Errorf("%w: send: %v", transport.ErrUnreachable, err)
+	var wmu sync.Mutex
+	f := &frame{
+		Kind: frameReq, ID: 1, Method: method, From: string(h.addr),
+		TimeoutMS: timeout.Milliseconds(), Payload: req,
 	}
-	var rep reply
-	if err := dec.Decode(&rep); err != nil {
-		mo.errCount()
-		var nerr net.Error
-		if errors.As(err, &nerr) && nerr.Timeout() {
-			return nil, transport.ErrTimeout
-		}
-		return nil, fmt.Errorf("%w: recv: %v", transport.ErrUnreachable, err)
+	if err := writeFrame(conn, &wmu, f, deadline); err != nil {
+		return nil, err
 	}
-	switch rep.ErrKind {
-	case 1:
-		mo.errCount()
-		return nil, fmt.Errorf("%w: %s on %s", transport.ErrNoHandler, rep.ErrMsg, to)
-	case 2:
-		mo.errCount()
-		return nil, errors.New(rep.ErrMsg)
+	rf, err := readFrame(bufio.NewReader(conn))
+	if err != nil {
+		return nil, err
 	}
-	return rep.Payload, nil
+	if rf.ID == 0 && rf.ErrKind == errDown {
+		return nil, remoteDownError{}
+	}
+	return rf, nil
+}
+
+// mapCallErr translates connection-level failures into the transport
+// sentinels protocol code branches on.
+func mapCallErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, transport.ErrTimeout),
+		errors.Is(err, transport.ErrUnreachable),
+		errors.Is(err, transport.ErrDown),
+		errors.Is(err, transport.ErrNoHandler):
+		return err
+	}
+	if _, ok := err.(remoteDownError); ok {
+		return fmt.Errorf("%w: peer reported closed", transport.ErrDown)
+	}
+	var nerr net.Error
+	if errors.As(err, &nerr) && nerr.Timeout() {
+		return transport.ErrTimeout
+	}
+	return fmt.Errorf("%w: %v", transport.ErrUnreachable, err)
 }
 
 // errCount increments the method's error counter; nil-safe so call

@@ -22,8 +22,20 @@ var (
 	ErrTimeout     = errors.New("transport: call timed out")
 	ErrUnreachable = errors.New("transport: destination unreachable")
 	ErrNoHandler   = errors.New("transport: no handler for method")
-	ErrDown        = errors.New("transport: local host is down")
+	// ErrDown reports a host that is not serving: the local host after
+	// Close, or a remote peer that answered a call by declaring itself
+	// closed (the live transport's down-peer reply maps here).
+	ErrDown = errors.New("transport: host is down")
 )
+
+// Transient reports whether err is a delivery-level failure worth
+// retrying elsewhere (the peer may be dead, restarting, or partitioned
+// away) as opposed to a definitive answer from a live handler. Callers
+// use it to classify retry policy: transient errors re-route and
+// retry; everything else is the application's to interpret.
+func Transient(err error) bool {
+	return errors.Is(err, ErrTimeout) || errors.Is(err, ErrUnreachable) || errors.Is(err, ErrDown)
+}
 
 // Handler serves one inbound request. It runs in its own execution
 // context (a simulated proc or a real goroutine) and may block.

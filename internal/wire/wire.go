@@ -46,6 +46,7 @@ func Messages() []any {
 		can.LoadReq{}, can.LoadResp{},
 		// grid
 		grid.InjectReq{}, grid.InjectResp{}, grid.OwnReq{}, grid.OwnResp{},
+		grid.InjectBatchReq{}, grid.InjectBatchResp{}, grid.OwnBatchReq{}, grid.OwnBatchResp{},
 		grid.AssignReq{}, grid.AssignResp{}, grid.HeartbeatReq{}, grid.HeartbeatResp{},
 		grid.CompleteReq{}, grid.CompleteResp{}, grid.ResultReq{}, grid.ResultResp{},
 		grid.RelayReq{}, grid.RelayResp{}, grid.AdoptReq{}, grid.AdoptResp{},

@@ -109,6 +109,25 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 			TC:  obs.TC{ID: grid.TraceID("c:1", 5), Hop: 12},
 		},
 		grid.StatusReq{JobID: ids.HashString("tj"), TC: obs.TC{ID: grid.TraceID("c:1", 6), Hop: 2}},
+		// Batched injection (DESIGN.md §11): per-item trace contexts and
+		// positional results, including the backpressure retry-after hint.
+		grid.InjectBatchReq{Items: []grid.InjectReq{
+			{Client: "c:1", Seq: 7, Cons: cons, Work: 50, TC: obs.TC{ID: grid.TraceID("c:1", 7), Hop: 1}},
+			{Client: "c:1", Seq: 8, Work: 60},
+		}},
+		grid.InjectBatchResp{Results: []grid.InjectResult{
+			{JobID: ids.HashString("bj"), Owner: "o:1", Hops: 2, Reps: []transport.Addr{"s:1"}},
+			{RetryAfterMS: 750},
+			{Err: "route job deadbeef: no live owner"},
+		}},
+		grid.OwnBatchReq{Items: []grid.OwnReq{
+			{Prof: grid.Profile{ID: ids.HashString("bj"), Client: "c:1", Work: 50}, TC: obs.TC{ID: grid.TraceID("c:1", 7), Hop: 2}},
+		}},
+		grid.OwnBatchResp{Results: []grid.OwnResult{
+			{Reps: []transport.Addr{"s:1", "s:2"}},
+			{RetryAfterMS: 500},
+		}},
+		grid.InjectResp{JobID: ids.HashString("bj"), Owner: "o:1", RetryAfterMS: 1250},
 		grid.StatsResp{Stats: grid.NodeStats{
 			Addr: "n:1", Now: 30e9, QueueLen: 2, Owned: 3, Pending: 1, Completed: 9, Executed: 70e9,
 			Samples: []obs.Sample{{Name: "grid_queue_depth", Value: 2}, {Name: "grid_events_total{kind=\"started\"}", Value: 9}},

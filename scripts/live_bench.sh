@@ -1,0 +1,103 @@
+#!/usr/bin/env bash
+# Live-throughput benchmark: boot a 3-node TCP grid three times — once
+# per transport configuration — and measure injection and end-to-end
+# throughput from one external client (gridctl bench):
+#
+#   perdial        one TCP connection per RPC (the pre-pooling baseline)
+#   pooled         persistent framed connections, one grid.inject per job
+#   pooled_batched persistent framed connections, grid.injectbatch
+#
+# Results land in BENCH_live.json. Environment knobs:
+#   BENCH_JOBS     jobs per configuration        (default 300)
+#   BENCH_WORK     per-job synthetic runtime     (default 5ms)
+#   BENCH_OUT      output path                   (default BENCH_live.json)
+#   BENCH_ASSERT   when 1, fail unless batched injection throughput
+#                  beats the per-dial baseline (CI smoke; the checked-in
+#                  BENCH_live.json records the stronger local numbers)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS=${BENCH_JOBS:-300}
+WORK=${BENCH_WORK:-5ms}
+OUT=${BENCH_OUT:-BENCH_live.json}
+ASSERT=${BENCH_ASSERT:-0}
+
+workdir=$(mktemp -d)
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+go build -o "$workdir/gridnode" ./cmd/gridnode
+go build -o "$workdir/gridctl" ./cmd/gridctl
+
+# run_config <name> <node-transport> <client-transport> <batch-flag>
+# Boots a fresh 3-node grid, runs one bench, and leaves the JSON result
+# line in $workdir/<name>.json.
+run_config() {
+  local name=$1 ntrans=$2 ctrans=$3 batch=$4
+  echo "live_bench: config $name (nodes=$ntrans client=$ctrans batch=$batch)" >&2
+  "$workdir/gridnode" -listen 127.0.0.1:7701 -transport "$ntrans" \
+    >"$workdir/$name-n1.log" 2>&1 &
+  pids+=($!)
+  sleep 1
+  "$workdir/gridnode" -listen 127.0.0.1:7702 -bootstrap 127.0.0.1:7701 \
+    -transport "$ntrans" -cpu 8 >"$workdir/$name-n2.log" 2>&1 &
+  pids+=($!)
+  "$workdir/gridnode" -listen 127.0.0.1:7703 -bootstrap 127.0.0.1:7701 \
+    -transport "$ntrans" -cpu 3 >"$workdir/$name-n3.log" 2>&1 &
+  pids+=($!)
+  sleep 4 # ring + tree convergence
+
+  local args=(bench -node 127.0.0.1:7701 -n "$JOBS" -work "$WORK" \
+    -transport "$ctrans" -timeout 4m -json)
+  if [ "$batch" = yes ]; then args+=(-batch); fi
+  "$workdir/gridctl" "${args[@]}" >"$workdir/$name.json"
+
+  # Tear the grid down so the next configuration starts clean.
+  for pid in "${pids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+  pids=()
+  sleep 1
+}
+
+run_config perdial perdial perdial no
+run_config pooled pooled pooled no
+run_config pooled_batched pooled pooled yes
+
+{
+  echo '{'
+  echo '  "bench": "live 3-node grid, one external client",'
+  echo "  \"jobs_per_config\": $JOBS,"
+  echo "  \"work\": \"$WORK\","
+  echo '  "note": "inject_jobs_per_sec is submit->owner-ack throughput (the pooled/batched fast path); e2e_jobs_per_sec is submit->result-delivered",'
+  echo "  \"perdial\": $(cat "$workdir/perdial.json"),"
+  echo "  \"pooled\": $(cat "$workdir/pooled.json"),"
+  echo "  \"pooled_batched\": $(cat "$workdir/pooled_batched.json")"
+  echo '}'
+} >"$OUT"
+
+echo "live_bench: wrote $OUT" >&2
+
+extract() { # extract <file> <json-number-field>
+  grep -o "\"$2\":[0-9.eE+-]*" "$1" | head -1 | cut -d: -f2
+}
+base_inject=$(extract "$workdir/perdial.json" inject_jobs_per_sec)
+pool_inject=$(extract "$workdir/pooled.json" inject_jobs_per_sec)
+batch_inject=$(extract "$workdir/pooled_batched.json" inject_jobs_per_sec)
+echo "live_bench: inject jobs/sec: perdial=$base_inject pooled=$pool_inject pooled+batched=$batch_inject" >&2
+
+if [ "$ASSERT" = 1 ]; then
+  # Flake-tolerant CI gate: batched must beat the per-dial baseline at
+  # all (the checked-in BENCH_live.json documents the >=2x local run).
+  ok=$(awk -v a="$batch_inject" -v b="$base_inject" 'BEGIN { print (a > b) ? 1 : 0 }')
+  if [ "$ok" != 1 ]; then
+    echo "live_bench: FAIL: batched injection ($batch_inject jobs/s) not faster than per-dial ($base_inject jobs/s)" >&2
+    exit 1
+  fi
+  echo "live_bench: PASS (batched $batch_inject > perdial $base_inject jobs/s)" >&2
+fi
