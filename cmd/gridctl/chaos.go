@@ -1,0 +1,189 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/match"
+	"repro/internal/nettransport"
+	"repro/internal/resource"
+	"repro/internal/rntree"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// chaosResult is the JSON summary one chaos soak emits (consumed by
+// scripts/live_chaos.sh).
+type chaosResult struct {
+	Jobs       int     `json:"jobs"`
+	Delivered  int     `json:"delivered"`
+	Duplicates int     `json:"duplicates"`
+	Lost       int     `json:"lost"`
+	Resubmits  int     `json:"resubmits"`
+	ElapsedS   float64 `json:"elapsed_s"`
+}
+
+// chaosCmd runs the live chaos soak: it joins the grid as a real peer
+// (with negligible capabilities, so constrained jobs never run here),
+// submits jobs through the full client path — classified inject
+// retries, pending registration, the resubmission monitor — and then
+// asserts the robustness contract end to end: every job delivered
+// exactly once, zero lost, no duplicates. The grid nodes themselves
+// are expected to run under a seeded -chaos schedule; this harness can
+// additionally injure its own outbound calls via -chaos/-chaos-seed.
+//
+//	gridctl chaos -bootstrap 127.0.0.1:7001 -n 40 -work 300ms -json
+func chaosCmd(args []string) {
+	fs := flag.NewFlagSet("chaos", flag.ExitOnError)
+	bootstrap := fs.String("bootstrap", "127.0.0.1:7001", "grid node to join through")
+	n := fs.Int("n", 40, "number of jobs")
+	work := fs.Duration("work", 300*time.Millisecond, "per-job synthetic runtime")
+	minCPU := fs.Float64("mincpu", 1, "CPU constraint on every job (kept above this harness's own caps so it never runs work)")
+	patience := fs.Duration("patience", 5*time.Second, "client-monitor silence window before a job is resubmitted")
+	timeout := fs.Duration("timeout", 3*time.Minute, "deadline for all results")
+	chaosSpec := fs.String("chaos", "", "fault schedule for this client's own outbound calls ('' = off)")
+	chaosSeed := fs.Int64("chaos-seed", 1, "seed for -chaos")
+	jsonOut := fs.Bool("json", false, "emit one JSON result line on stdout")
+	_ = fs.Parse(args)
+
+	var topts nettransport.Opts
+	if *chaosSpec != "" {
+		rules, err := nettransport.ParseRules(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridctl: chaos: %v\n", err)
+			os.Exit(2)
+		}
+		topts.Chaos = nettransport.NewChaos(*chaosSeed, rules...)
+	}
+
+	wire.RegisterAll()
+	host, err := nettransport.ListenOpts("127.0.0.1:0", topts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	// A full grid peer, not a bare RPC client: submissions need the
+	// overlay for routing and the node's pending map for monitoring.
+	// Near-zero caps keep real work off this process.
+	caps := resource.Vector{0.1, 1, 1}
+	ch := chord.New(host, chord.Config{
+		StabilizeEvery:  500 * time.Millisecond,
+		FixFingersEvery: 500 * time.Millisecond,
+	})
+	rn := rntree.New(host, ch, caps, "linux", rntree.Config{AggregateEvery: time.Second})
+	overlay := &match.ChordOverlay{Chord: ch, Walk: rn}
+
+	var mu sync.Mutex
+	delivered := map[ids.ID]int{}
+	resubmits := 0
+	rec := grid.RecorderFunc(func(ev grid.Event) {
+		mu.Lock()
+		switch ev.Kind {
+		case grid.EvResultDelivered:
+			delivered[ev.JobID]++
+		case grid.EvResubmitted:
+			resubmits++
+		}
+		mu.Unlock()
+	})
+	gn := grid.NewNode(host, caps, "linux", overlay, &match.RNTree{RN: rn}, rec, grid.Config{
+		HeartbeatEvery: time.Second,
+		PeerDown:       host.PeerDown,
+		Health:         gridctlHealth(host),
+	})
+	rn.SetLoadFn(gn.QueueLen)
+
+	joined := make(chan error, 1)
+	host.Go("join", func(rt transport.Runtime) {
+		var jerr error
+		for try := 0; try < 20; try++ {
+			if jerr = ch.Join(rt, transport.Addr(*bootstrap)); jerr == nil {
+				break
+			}
+			rt.Sleep(500 * time.Millisecond)
+		}
+		joined <- jerr
+	})
+	if err := <-joined; err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: chaos: join via %s: %v\n", *bootstrap, err)
+		os.Exit(1)
+	}
+	ch.Start()
+	rn.Start()
+	gn.Start()
+	gn.StartClientMonitor(*patience)
+	time.Sleep(2 * time.Second) // ring + tree convergence before submitting
+
+	res := chaosResult{Jobs: *n}
+	began := time.Now()
+	soakDone := make(chan int, 1)
+	host.Go("chaos-soak", func(rt transport.Runtime) {
+		spec := grid.JobSpec{
+			Work: *work,
+			Cons: resource.Unconstrained.Require(resource.CPU, *minCPU),
+		}
+		for i := 0; i < *n; i++ {
+			// Submission errors are tolerated: the pending entry is
+			// registered before injection, so the monitor recovers jobs
+			// whose bounded inject retries all failed under chaos. A
+			// genuinely lost job surfaces as a non-zero AwaitAll below.
+			_, _ = gn.Submit(rt, spec)
+		}
+		soakDone <- gn.AwaitAll(rt, rt.Now()+*timeout)
+	})
+	res.Lost = <-soakDone
+	res.ElapsedS = time.Since(began).Seconds()
+
+	mu.Lock()
+	for _, c := range delivered {
+		res.Delivered++
+		if c > 1 {
+			res.Duplicates += c - 1
+		}
+	}
+	res.Resubmits = resubmits
+	mu.Unlock()
+
+	if *jsonOut {
+		b, _ := json.Marshal(res)
+		fmt.Println(string(b))
+	} else {
+		fmt.Printf("chaos soak: %d jobs, %d delivered, %d lost, %d duplicates, %d resubmits in %.1fs\n",
+			res.Jobs, res.Delivered, res.Lost, res.Duplicates, res.Resubmits, res.ElapsedS)
+	}
+	if res.Lost != 0 || res.Delivered != res.Jobs || res.Duplicates != 0 {
+		fmt.Fprintf(os.Stderr, "gridctl: chaos: FAIL: want %d delivered exactly once, got delivered=%d lost=%d duplicates=%d\n",
+			res.Jobs, res.Delivered, res.Lost, res.Duplicates)
+		os.Exit(1)
+	}
+}
+
+// gridctlHealth adapts the transport breaker snapshot for grid.health,
+// mirroring the gridnode adapter.
+func gridctlHealth(host *nettransport.Host) func() []grid.PeerHealth {
+	return func() []grid.PeerHealth {
+		hs := host.Health()
+		out := make([]grid.PeerHealth, len(hs))
+		for i, e := range hs {
+			out[i] = grid.PeerHealth{
+				Peer:        e.Peer,
+				State:       e.State,
+				ConsecFails: e.ConsecFails,
+				Failures:    e.Failures,
+				Successes:   e.Successes,
+				Opens:       e.Opens,
+				RetryIn:     e.RetryIn,
+			}
+		}
+		return out
+	}
+}

@@ -23,6 +23,15 @@
 // (DESIGN.md §10):
 //
 //	gridctl replicas -node 127.0.0.1:7001 <job-id>
+//
+// The health subcommand prints a node's per-peer circuit-breaker
+// table (grid.health, DESIGN.md §12); chaos runs the live chaos soak —
+// it joins the grid as a peer, submits jobs under whatever fault
+// schedule the nodes were started with, and asserts exactly-once
+// completion (scripts/live_chaos.sh drives it):
+//
+//	gridctl health -node 127.0.0.1:7001
+//	gridctl chaos -bootstrap 127.0.0.1:7001 -n 40 -work 300ms -json
 package main
 
 import (
@@ -59,6 +68,12 @@ func main() {
 			return
 		case "bench":
 			benchCmd(os.Args[2:])
+			return
+		case "health":
+			healthCmd(os.Args[2:])
+			return
+		case "chaos":
+			chaosCmd(os.Args[2:])
 			return
 		}
 	}

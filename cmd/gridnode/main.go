@@ -44,6 +44,9 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /events, /debug/pprof ('' = off)")
 	transportMode := flag.String("transport", "pooled", "outbound call path: pooled (persistent framed conns) or perdial (one conn per call; benchmarking baseline)")
 	ownerCap := flag.Int("owner-cap", 0, "bound on jobs this node will own at once; beyond it injections are rejected with a retry-after hint (0 = unbounded)")
+	chaosSpec := flag.String("chaos", "", "deterministic outbound fault schedule, e.g. 'method=grid.assign reset=0.1; stall=0.2:300ms' (DESIGN.md §12; '' = off)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos schedule; same seed, same rules => same fault sequence")
+	chaosLog := flag.String("chaos-log", "", "append one 'peer method seq fate' line per chaos decision to this file ('' = off)")
 	flag.Parse()
 
 	var topts nettransport.Opts
@@ -54,6 +57,25 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "gridnode: unknown -transport %q (pooled|perdial)\n", *transportMode)
 		os.Exit(2)
+	}
+	if *chaosSpec != "" {
+		rules, err := nettransport.ParseRules(*chaosSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridnode: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		cz := nettransport.NewChaos(*chaosSeed, rules...)
+		if *chaosLog != "" {
+			f, err := os.OpenFile(*chaosLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridnode: -chaos-log: %v\n", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			cz.SetLog(f)
+		}
+		topts.Chaos = cz
+		fmt.Printf("gridnode: chaos on (seed %d, %d rules)\n", *chaosSeed, len(rules))
 	}
 
 	wire.RegisterAll()
@@ -137,6 +159,10 @@ func main() {
 		ProbeEvery:     *probeEvery,
 		OwnerCapacity:  *ownerCap,
 		Obs:            o,
+		// Transport health feeds graceful degradation (breaker-open
+		// peers demoted in matchmaking and probing) and grid.health.
+		PeerDown: host.PeerDown,
+		Health:   gridHealth(host),
 	})
 	rn.SetLoadFn(gn.QueueLen)
 
@@ -170,4 +196,25 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("gridnode: shutting down")
+}
+
+// gridHealth adapts the transport's breaker snapshot to the grid's
+// transport-agnostic health type for the grid.health RPC.
+func gridHealth(host *nettransport.Host) func() []grid.PeerHealth {
+	return func() []grid.PeerHealth {
+		hs := host.Health()
+		out := make([]grid.PeerHealth, len(hs))
+		for i, e := range hs {
+			out[i] = grid.PeerHealth{
+				Peer:        e.Peer,
+				State:       e.State,
+				ConsecFails: e.ConsecFails,
+				Failures:    e.Failures,
+				Successes:   e.Successes,
+				Opens:       e.Opens,
+				RetryIn:     e.RetryIn,
+			}
+		}
+		return out
+	}
 }

@@ -439,6 +439,10 @@ func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendi
 		direct = append(direct, p.owner)
 	}
 	direct = append(direct, p.reps...)
+	// With transport health available, probe likely-live candidates
+	// first; breaker-open peers stay in the list (their probes fail
+	// fast) but no longer head-of-line block the ones that can answer.
+	direct = n.demoteDown(direct)
 	for _, c := range direct {
 		if probed[c] {
 			continue

@@ -179,6 +179,18 @@ type Config struct {
 	// obs_soak_test.go). Nil disables it at zero cost beyond one
 	// predictable branch per instrument call.
 	Obs *obs.Obs
+
+	// PeerDown, when set, reports whether the transport layer currently
+	// fast-fails calls to addr — an open per-peer circuit breaker
+	// (nettransport.Host.PeerDown). Matchmaking demotes such peers for
+	// the round instead of spending an assignment attempt on them, and
+	// the client monitor probes them last. Nil (the simulator) disables
+	// degradation, keeping seeded replays byte-identical.
+	PeerDown func(addr transport.Addr) bool
+	// Health, when set, supplies the transport's per-peer breaker
+	// snapshot answered over the grid.health RPC (gridctl health). Nil
+	// reports no peers.
+	Health func() []PeerHealth
 }
 
 func (c Config) withDefaults() Config {

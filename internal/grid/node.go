@@ -406,6 +406,7 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 	host.Handle(MStats, n.handleStats)
 	host.Handle(MTrace, n.handleTrace)
 	host.Handle(MReplicas, n.handleReplicas)
+	host.Handle(MHealth, n.handleHealth)
 	if n.cfg.ReplicaK > 0 && n.cfg.ReplicaRing != nil {
 		n.repl = replpkg.New(host, n.cfg.ReplicaRing, replpkg.Config{
 			K:          n.cfg.ReplicaK,
@@ -667,6 +668,11 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 		}
 		n.mu.Unlock()
 	}()
+	// demoted collects candidates whose transport breaker is open this
+	// round. They are excluded from further picks here but never
+	// recorded on the job, so a peer is eligible again the moment its
+	// circuit closes.
+	var demoted []transport.Addr
 	for tries := 0; tries < n.cfg.MaxRematch; tries++ {
 		n.mu.Lock()
 		job, ok := n.owned[jobID]
@@ -677,6 +683,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 		prof := job.prof
 		tc := job.tc
 		excluded := append([]transport.Addr(nil), job.excluded...)
+		excluded = append(excluded, demoted...)
 		ckpt := job.ckpt
 		n.mu.Unlock()
 
@@ -685,6 +692,13 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 			n.trace(tc, rt.Now(), "match-failed", prof.Attempt, "", "")
 			n.record(EvMatchFailed, prof, rt.Now(), stats)
 			rt.Sleep(n.cfg.MatchRetryEvery)
+			continue
+		}
+		if n.peerDown(run) {
+			// Every call to this candidate would fast-fail right now
+			// (open breaker): demote it and pick again instead of
+			// spending an assignment attempt and its timeout.
+			demoted = append(demoted, run)
 			continue
 		}
 		// The "matched" trace step is recorded before the assignment so

@@ -1,0 +1,283 @@
+package nettransport
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// Deterministic network chaos for the live transport — the real-socket
+// counterpart of internal/faultinject's simulator rules. A Chaos
+// attached to Opts.Chaos injects faults into this host's *outbound*
+// calls only (faults are client-side, so a schedule describes what one
+// process does to the network, never what the network does to it):
+//
+//   - refuse:    the call fails instantly as if the peer's port were
+//     closed; no bytes move.
+//   - reset:     the request frame is cut off mid-write and the
+//     connection killed — the real mid-frame reset case, seen by both
+//     ends.
+//   - blackhole: the request is swallowed; the caller burns its full
+//     timeout. The peer never sees the call.
+//   - stall:     the call pauses for the rule's duration before the
+//     request is written (a stall at least as long as the caller's
+//     timeout becomes a timeout).
+//   - throttle:  the request bytes trickle onto the wire at the rule's
+//     byte rate.
+//
+// Determinism contract: every fate is a pure function of
+// (seed, peer, method, seq), where seq counts that (peer, method)
+// pair's calls on this Chaos. Two runs with the same seed, rules, and
+// per-pair call counts draw the identical fault sequence per pair, no
+// matter how goroutines interleave — the same hash-draw idiom as
+// faultinject.Byz. scripts/live_chaos.sh verifies the contract by
+// diffing decision logs across runs. (Breaker cooldown jitter is
+// deliberately outside this contract; the schedule governs injected
+// faults, not recovery pacing.)
+
+// ChaosRule matches outbound calls and assigns fault probabilities.
+// The first matching rule decides; probabilities within a rule are
+// drawn independently but applied mutually exclusively in the order
+// refuse, reset, blackhole, stall, throttle.
+type ChaosRule struct {
+	// Peer restricts the rule to one destination address; "" or "*"
+	// matches every peer.
+	Peer string
+	// Method restricts the rule to one RPC method; "" or "*" matches
+	// every method.
+	Method string
+
+	Refuse    float64 // P(connect refused)
+	Reset     float64 // P(mid-frame reset)
+	Blackhole float64 // P(request swallowed; full-timeout burn)
+	Stall     float64 // P(write stalled for StallFor)
+	StallFor  time.Duration
+	Throttle  float64 // P(request throttled to Rate bytes/sec)
+	Rate      int
+}
+
+func (r ChaosRule) matches(peer, method string) bool {
+	if r.Peer != "" && r.Peer != "*" && r.Peer != peer {
+		return false
+	}
+	if r.Method != "" && r.Method != "*" && r.Method != method {
+		return false
+	}
+	return true
+}
+
+// Chaos is a seeded fault schedule. The zero value is not usable; use
+// NewChaos. A nil *Chaos injects nothing (all hooks are nil-safe).
+type Chaos struct {
+	seed  int64
+	rules []ChaosRule
+
+	mu   sync.Mutex
+	seq  map[string]int // per "peer method" call counter
+	logw io.Writer
+
+	// Injection counters, exported via Counts for tests and harnesses.
+	refused    atomic.Int64
+	resets     atomic.Int64
+	blackholes atomic.Int64
+	stalls     atomic.Int64
+	throttled  atomic.Int64
+	clean      atomic.Int64
+}
+
+// NewChaos builds a schedule from a seed and an ordered rule list.
+func NewChaos(seed int64, rules ...ChaosRule) *Chaos {
+	return &Chaos{seed: seed, rules: rules, seq: make(map[string]int)}
+}
+
+// SetLog mirrors every fate decision (including clean passes on
+// matched calls) to w, one "peer method seq fate" line each — the
+// replay evidence live_chaos.sh compares across runs. Writes happen
+// under the schedule's lock; pass something cheap (a file).
+func (c *Chaos) SetLog(w io.Writer) {
+	c.mu.Lock()
+	c.logw = w
+	c.mu.Unlock()
+}
+
+// Counts reports how many faults of each kind have been injected.
+func (c *Chaos) Counts() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	return map[string]int64{
+		"refuse":    c.refused.Load(),
+		"reset":     c.resets.Load(),
+		"blackhole": c.blackholes.Load(),
+		"stall":     c.stalls.Load(),
+		"throttle":  c.throttled.Load(),
+		"clean":     c.clean.Load(),
+	}
+}
+
+// fault is one call's drawn fate. The zero value means "no fault".
+type fault struct {
+	refuse    bool
+	reset     bool
+	blackhole bool
+	stall     time.Duration
+	rate      int // throttle bytes/sec; 0 = unthrottled
+}
+
+func (f fault) name() string {
+	switch {
+	case f.refuse:
+		return "refuse"
+	case f.reset:
+		return "reset"
+	case f.blackhole:
+		return "blackhole"
+	case f.stall > 0:
+		return "stall"
+	case f.rate > 0:
+		return "throttle"
+	}
+	return "none"
+}
+
+// fate draws one call's fault. Nil-safe.
+func (c *Chaos) fate(peer transport.Addr, method string) fault {
+	if c == nil {
+		return fault{}
+	}
+	var rule *ChaosRule
+	for i := range c.rules {
+		if c.rules[i].matches(string(peer), method) {
+			rule = &c.rules[i]
+			break
+		}
+	}
+	if rule == nil {
+		return fault{}
+	}
+	key := string(peer) + " " + method
+	c.mu.Lock()
+	seq := c.seq[key]
+	c.seq[key] = seq + 1
+	var f fault
+	switch {
+	case c.draw("refuse", key, seq) < rule.Refuse:
+		f.refuse = true
+		c.refused.Add(1)
+	case c.draw("reset", key, seq) < rule.Reset:
+		f.reset = true
+		c.resets.Add(1)
+	case c.draw("blackhole", key, seq) < rule.Blackhole:
+		f.blackhole = true
+		c.blackholes.Add(1)
+	case c.draw("stall", key, seq) < rule.Stall:
+		f.stall = rule.StallFor
+		c.stalls.Add(1)
+	case c.draw("throttle", key, seq) < rule.Throttle:
+		f.rate = rule.Rate
+		c.throttled.Add(1)
+	default:
+		c.clean.Add(1)
+	}
+	if c.logw != nil {
+		fmt.Fprintf(c.logw, "%s %s %d %s\n", peer, method, seq, f.name())
+	}
+	c.mu.Unlock()
+	return f
+}
+
+// draw maps (seed, kind, peer+method, seq) onto [0, 1) via the ids
+// hash — the same uniform-draw construction as faultinject.Byz.chance,
+// so a decision depends only on its inputs, never on wall clock or
+// scheduling.
+func (c *Chaos) draw(kind, key string, seq int) float64 {
+	h := ids.HashString(fmt.Sprintf("chaos/%d/%s/%s/%d", c.seed, kind, key, seq))
+	return float64(h.Uint64()>>11) / float64(1<<53)
+}
+
+// ParseRules parses the flag-friendly schedule syntax used by
+// gridnode -chaos. Rules are ';'-separated; each rule is a
+// whitespace-separated list of key=value fields:
+//
+//	peer=ADDR            match one destination ('*' or absent = all)
+//	method=NAME          match one RPC method ('*' or absent = all)
+//	refuse=P             connect-refused probability
+//	reset=P              mid-frame reset probability
+//	blackhole=P          swallow-request probability
+//	stall=P:DUR          stall probability and duration (e.g. 0.2:300ms)
+//	throttle=P:RATE      throttle probability and bytes/sec (e.g. 0.5:2048)
+//
+// Example: "method=grid.assign reset=0.1; stall=0.2:300ms blackhole=0.02"
+func ParseRules(spec string) ([]ChaosRule, error) {
+	var rules []ChaosRule
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		var r ChaosRule
+		for _, tok := range strings.Fields(part) {
+			k, v, ok := strings.Cut(tok, "=")
+			if !ok {
+				return nil, fmt.Errorf("nettransport: chaos rule field %q: want key=value", tok)
+			}
+			var err error
+			switch k {
+			case "peer":
+				r.Peer = v
+			case "method":
+				r.Method = v
+			case "refuse":
+				r.Refuse, err = parseProb(v)
+			case "reset":
+				r.Reset, err = parseProb(v)
+			case "blackhole":
+				r.Blackhole, err = parseProb(v)
+			case "stall":
+				p, arg, cutOK := strings.Cut(v, ":")
+				if !cutOK {
+					return nil, fmt.Errorf("nettransport: chaos stall %q: want P:DURATION", v)
+				}
+				if r.Stall, err = parseProb(p); err == nil {
+					r.StallFor, err = time.ParseDuration(arg)
+				}
+			case "throttle":
+				p, arg, cutOK := strings.Cut(v, ":")
+				if !cutOK {
+					return nil, fmt.Errorf("nettransport: chaos throttle %q: want P:BYTES_PER_SEC", v)
+				}
+				if r.Throttle, err = parseProb(p); err == nil {
+					r.Rate, err = strconv.Atoi(arg)
+					if err == nil && r.Rate <= 0 {
+						err = fmt.Errorf("rate must be positive")
+					}
+				}
+			default:
+				return nil, fmt.Errorf("nettransport: unknown chaos field %q", k)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("nettransport: chaos field %q: %w", tok, err)
+			}
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}
+
+func parseProb(s string) (float64, error) {
+	p, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p > 1 {
+		return 0, fmt.Errorf("probability %v outside [0, 1]", p)
+	}
+	return p, nil
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -35,9 +36,12 @@ const (
 	errDown      = 3 // peer is not serving: host closed or stream unusable
 )
 
-// maxFrame bounds a single frame's payload; anything larger is a
-// protocol error (checkpoint payloads cap in the low MBs).
-const maxFrame = 64 << 20
+// defaultMaxFrame bounds a single frame's payload unless Opts.MaxFrame
+// overrides it (checkpoint payloads cap in the low MBs). The reader
+// enforces the bound on the length prefix alone, before any
+// allocation, so a corrupt or hostile peer cannot make us allocate an
+// arbitrarily large buffer.
+const defaultMaxFrame = 64 << 20
 
 // frame is the unit of the wire protocol.
 type frame struct {
@@ -59,7 +63,7 @@ type frame struct {
 }
 
 // encodeFrame renders f as [length][gob bytes], ready for one write.
-func encodeFrame(f *frame) ([]byte, error) {
+func encodeFrame(f *frame, max int) ([]byte, error) {
 	var buf bytes.Buffer
 	buf.Write([]byte{0, 0, 0, 0}) // length placeholder
 	if err := gob.NewEncoder(&buf).Encode(f); err != nil {
@@ -67,8 +71,8 @@ func encodeFrame(f *frame) ([]byte, error) {
 	}
 	b := buf.Bytes()
 	n := len(b) - 4
-	if n > maxFrame {
-		return nil, fmt.Errorf("nettransport: frame too large (%d bytes)", n)
+	if n > max {
+		return nil, fmt.Errorf("nettransport: frame too large (%d bytes, max %d)", n, max)
 	}
 	binary.BigEndian.PutUint32(b[:4], uint32(n))
 	return b, nil
@@ -76,27 +80,84 @@ func encodeFrame(f *frame) ([]byte, error) {
 
 // writeFrame sends one frame under the connection's write lock with the
 // given deadline. A zero deadline means no deadline.
-func writeFrame(conn net.Conn, wmu *sync.Mutex, f *frame, deadline time.Time) error {
-	b, err := encodeFrame(f)
+func writeFrame(conn net.Conn, wmu *sync.Mutex, f *frame, deadline time.Time, max int) error {
+	return writeFrameFault(conn, wmu, f, deadline, max, fault{})
+}
+
+// errChaosReset marks a request that was cut off mid-frame by the
+// chaos layer: part of it reached the wire, so unlike an ordinary
+// write failure the peer may have observed bytes and the call must not
+// be retried as never-sent.
+var errChaosReset = errors.New("nettransport: connection reset mid-frame (chaos)")
+
+// chaosTimeoutError surfaces a throttled write that outlived the
+// caller's deadline between chunks (the conn's own write deadline only
+// bounds each Write, not the injected sleeps).
+type chaosTimeoutError struct{}
+
+func (chaosTimeoutError) Error() string   { return "nettransport: write timed out (chaos throttle)" }
+func (chaosTimeoutError) Timeout() bool   { return true }
+func (chaosTimeoutError) Temporary() bool { return true }
+
+// writeFrameFault is writeFrame with an injected fault applied:
+// wf.reset truncates the frame mid-body and kills the connection;
+// wf.rate trickles the bytes out in paced chunks.
+func writeFrameFault(conn net.Conn, wmu *sync.Mutex, f *frame, deadline time.Time, max int, wf fault) error {
+	b, err := encodeFrame(f, max)
 	if err != nil {
 		return err
 	}
 	wmu.Lock()
 	defer wmu.Unlock()
 	_ = conn.SetWriteDeadline(deadline)
+	if wf.reset {
+		// Claim the full length, deliver roughly half the body, then
+		// slam the connection shut — the receiver sees a short read
+		// inside a frame, exactly what a peer crash mid-send produces.
+		cut := len(b) * 2 / 3
+		if cut < 5 {
+			cut = len(b)
+		}
+		_, _ = conn.Write(b[:cut])
+		conn.Close()
+		return errChaosReset
+	}
+	if wf.rate > 0 {
+		chunk := wf.rate / 20 // ~50ms of budget per chunk
+		if chunk < 64 {
+			chunk = 64
+		}
+		for off := 0; off < len(b); off += chunk {
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return chaosTimeoutError{}
+			}
+			end := off + chunk
+			if end > len(b) {
+				end = len(b)
+			}
+			if _, err := conn.Write(b[off:end]); err != nil {
+				return err
+			}
+			if end < len(b) {
+				time.Sleep(time.Duration(end-off) * time.Second / time.Duration(wf.rate))
+			}
+		}
+		return nil
+	}
 	_, err = conn.Write(b)
 	return err
 }
 
-// readFrame reads one length-prefixed frame from r.
-func readFrame(r io.Reader) (*frame, error) {
+// readFrame reads one length-prefixed frame from r, rejecting any
+// length prefix beyond max before allocating for the body.
+func readFrame(r io.Reader, max int) (*frame, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFrame {
-		return nil, fmt.Errorf("nettransport: bad frame length %d", n)
+	if n == 0 || n > uint32(max) {
+		return nil, fmt.Errorf("nettransport: bad frame length %d (max %d)", n, max)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {

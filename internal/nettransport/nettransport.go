@@ -45,6 +45,30 @@ type Opts struct {
 	// CloseDrain bounds how long Close waits for the accept loop and
 	// in-flight handlers to finish before returning (default 2s).
 	CloseDrain time.Duration
+	// MaxFrame bounds a single frame's encoded size in both directions;
+	// the reader rejects larger length prefixes before allocating
+	// (default 64 MB).
+	MaxFrame int
+	// Chaos, when set, deterministically injects network faults into
+	// this host's outbound calls — see chaos.go and gridnode -chaos.
+	// Nil injects nothing.
+	Chaos *Chaos
+	// BreakerThreshold is how many consecutive transport-level failures
+	// open a peer's circuit breaker (default 5; negative disables
+	// breakers entirely). See breaker.go.
+	BreakerThreshold int
+	// BreakerCooldown is the first open window before a half-open probe
+	// is admitted (default 1s); each failed probe doubles it up to
+	// BreakerMaxCooldown (default 30s), with jitter.
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// DialBackoff spaces reconnect attempts to a peer whose dials fail:
+	// after a failed dial, further dials to that peer are suppressed
+	// (failing fast as unreachable) for an exponentially growing,
+	// jittered window — default 100ms doubling up to DialBackoffMax
+	// (default 5s), reset by any successful dial. Negative disables.
+	DialBackoff    time.Duration
+	DialBackoffMax time.Duration
 }
 
 func (o Opts) withDefaults() Opts {
@@ -53,6 +77,24 @@ func (o Opts) withDefaults() Opts {
 	}
 	if o.CloseDrain == 0 {
 		o.CloseDrain = 2 * time.Second
+	}
+	if o.MaxFrame == 0 {
+		o.MaxFrame = defaultMaxFrame
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown == 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.BreakerMaxCooldown == 0 {
+		o.BreakerMaxCooldown = 30 * time.Second
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 100 * time.Millisecond
+	}
+	if o.DialBackoffMax == 0 {
+		o.DialBackoffMax = 5 * time.Second
 	}
 	return o
 }
@@ -64,6 +106,7 @@ type Host struct {
 	start time.Time
 	opts  Opts
 	pool  *pool
+	brk   *breakerSet
 	done  chan struct{} // closed when the host closes
 
 	mu       sync.Mutex
@@ -122,6 +165,9 @@ func (h *Host) SetObs(o *obs.Obs) {
 		bytesIn:  reg.Counter("rpc_bytes_total", "dir", "in"),
 		bytesOut: reg.Counter("rpc_bytes_total", "dir", "out"),
 	})
+	reg.GaugeFunc("rpc_breakers_open", func() float64 {
+		return float64(h.brk.openCount())
+	})
 }
 
 // countingConn counts bytes crossing a net.Conn into obs counters.
@@ -164,6 +210,7 @@ func ListenOpts(addr string, opts Opts) (*Host, error) {
 		conns:    make(map[net.Conn]struct{}),
 	}
 	h.pool = newPool(h)
+	h.brk = newBreakerSet(h)
 	go h.pool.reapLoop()
 	h.connWg.Add(1)
 	go h.acceptLoop()
@@ -303,7 +350,7 @@ func (h *Host) serveConn(rawConn net.Conn) {
 	var inflight atomic.Int64
 	for {
 		_ = conn.SetReadDeadline(time.Now().Add(h.opts.IdleTimeout))
-		f, err := readFrame(br)
+		f, err := readFrame(br, h.opts.MaxFrame)
 		if err != nil {
 			var nerr net.Error
 			if errors.As(err, &nerr) && nerr.Timeout() {
@@ -322,7 +369,7 @@ func (h *Host) serveConn(rawConn net.Conn) {
 			// reports a timeout for what is really an unusable peer.
 			_ = writeFrame(conn, &wmu, &frame{
 				Kind: frameResp, ErrKind: errDown, ErrMsg: "bad frame: " + err.Error(),
-			}, time.Now().Add(time.Second))
+			}, time.Now().Add(time.Second), h.opts.MaxFrame)
 			return
 		}
 		if f.Kind != frameReq {
@@ -331,7 +378,7 @@ func (h *Host) serveConn(rawConn net.Conn) {
 		if h.isClosed() {
 			_ = writeFrame(conn, &wmu, &frame{
 				Kind: frameResp, ID: f.ID, ErrKind: errDown, ErrMsg: "host closed",
-			}, time.Now().Add(time.Second))
+			}, time.Now().Add(time.Second), h.opts.MaxFrame)
 			continue
 		}
 		inflight.Add(1)
@@ -362,7 +409,7 @@ func (h *Host) serveRequest(conn net.Conn, wmu *sync.Mutex, f *frame, recv time.
 	if closed {
 		resp.ErrKind = errDown
 		resp.ErrMsg = "host closed"
-		_ = writeFrame(conn, wmu, resp, deadline)
+		_ = writeFrame(conn, wmu, resp, deadline, h.opts.MaxFrame)
 		return
 	}
 	ro := h.obsv.Load()
@@ -394,7 +441,7 @@ func (h *Host) serveRequest(conn net.Conn, wmu *sync.Mutex, f *frame, recv time.
 	if !time.Now().Before(deadline) {
 		return // the caller has given up; nobody is reading this reply
 	}
-	_ = writeFrame(conn, wmu, resp, deadline)
+	_ = writeFrame(conn, wmu, resp, deadline, h.opts.MaxFrame)
 }
 
 // runtime is the live (wall-clock) transport.Runtime.
@@ -426,13 +473,47 @@ func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.
 		began := time.Now()
 		defer func() { mo.secs.Observe(time.Since(began).Seconds()) }()
 	}
+	// Breaker gate: an open circuit fails the call instantly (as
+	// transient unreachable, so classified retries re-route) instead of
+	// burning a dial or call timeout on a peer known to be failing.
+	if err := r.h.brk.allow(to); err != nil {
+		mo.errCount()
+		return nil, err
+	}
+	// Chaos gate: draw this call's fate. Refuse, blackhole, and an
+	// over-budget stall resolve here without touching the network; reset
+	// and throttle ride down into the write path.
+	ft := r.h.opts.Chaos.fate(to, method)
+	switch {
+	case ft.refuse:
+		r.h.brk.record(to, false)
+		mo.errCount()
+		return nil, fmt.Errorf("%w: %s: connection refused (chaos)", transport.ErrUnreachable, to)
+	case ft.blackhole:
+		r.h.sleepInterruptible(timeout)
+		r.h.brk.record(to, false)
+		mo.errCount()
+		return nil, transport.ErrTimeout
+	case ft.stall > 0:
+		if ft.stall >= timeout {
+			r.h.sleepInterruptible(timeout)
+			r.h.brk.record(to, false)
+			mo.errCount()
+			return nil, transport.ErrTimeout
+		}
+		r.h.sleepInterruptible(ft.stall)
+		timeout -= ft.stall
+	}
 	var rf *frame
 	var err error
 	if r.h.opts.PerDial {
-		rf, err = r.h.callPerDial(to, method, req, timeout)
+		rf, err = r.h.callPerDial(to, method, req, timeout, ft)
 	} else {
-		rf, err = r.h.callPooled(to, method, req, timeout)
+		rf, err = r.h.callPooled(to, method, req, timeout, ft)
 	}
+	// Only transport-level outcomes feed the breaker: a handler error
+	// or missing handler is an answering, healthy peer.
+	r.h.brk.record(to, err == nil && rf.ErrKind != errDown)
 	if err != nil {
 		mo.errCount()
 		return nil, mapCallErr(err)
@@ -451,28 +532,38 @@ func (r *runtime) CallT(to transport.Addr, method string, req any, timeout time.
 	return rf.Payload, nil
 }
 
+// sleepInterruptible sleeps for d or until the host closes.
+func (h *Host) sleepInterruptible(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-h.done:
+	}
+}
+
 // callPooled performs one call over the peer's pooled connection,
 // reconnecting once when a previously-pooled connection turns out to
 // have died before the request reached the wire (peer restart between
 // calls).
-func (h *Host) callPooled(to transport.Addr, method string, req any, timeout time.Duration) (*frame, error) {
+func (h *Host) callPooled(to transport.Addr, method string, req any, timeout time.Duration, ft fault) (*frame, error) {
 	pc, reused, err := h.pool.get(to, timeout)
 	if err != nil {
 		return nil, err
 	}
-	rf, wrote, err := pc.call(method, h.addr, req, timeout)
+	rf, wrote, err := pc.call(method, h.addr, req, timeout, ft)
 	if err != nil && !wrote && reused {
 		pc, _, err2 := h.pool.get(to, timeout)
 		if err2 != nil {
 			return nil, err2
 		}
-		rf, _, err = pc.call(method, h.addr, req, timeout)
+		rf, _, err = pc.call(method, h.addr, req, timeout, ft)
 	}
 	return rf, err
 }
 
 // callPerDial is the baseline path: dial, one framed request, close.
-func (h *Host) callPerDial(to transport.Addr, method string, req any, timeout time.Duration) (*frame, error) {
+func (h *Host) callPerDial(to transport.Addr, method string, req any, timeout time.Duration, ft fault) (*frame, error) {
 	deadline := time.Now().Add(timeout)
 	conn, err := net.DialTimeout("tcp", string(to), timeout)
 	if err != nil {
@@ -488,10 +579,10 @@ func (h *Host) callPerDial(to transport.Addr, method string, req any, timeout ti
 		Kind: frameReq, ID: 1, Method: method, From: string(h.addr),
 		TimeoutMS: timeout.Milliseconds(), Payload: req,
 	}
-	if err := writeFrame(conn, &wmu, f, deadline); err != nil {
+	if err := writeFrameFault(conn, &wmu, f, deadline, h.opts.MaxFrame, ft); err != nil {
 		return nil, err
 	}
-	rf, err := readFrame(bufio.NewReader(conn))
+	rf, err := readFrame(bufio.NewReader(conn), h.opts.MaxFrame)
 	if err != nil {
 		return nil, err
 	}

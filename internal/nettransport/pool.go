@@ -2,6 +2,9 @@ package nettransport
 
 import (
 	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -23,11 +26,21 @@ type pool struct {
 	// per peer so a dead destination's dial timeout never blocks calls
 	// to other peers.
 	peers map[transport.Addr]*peerEntry
+
+	// dials counts actual TCP dial attempts (tests assert that backoff
+	// keeps this far below the call count against a dead peer).
+	dials atomic.Int64
 }
 
 type peerEntry struct {
 	mu sync.Mutex
 	pc *peerConn
+	// Reconnect backoff: after a failed dial, further dials are
+	// suppressed until nextDial so a dead peer is not hammered in a
+	// tight loop. backoff doubles per consecutive failure (jittered,
+	// capped at Opts.DialBackoffMax) and resets on success.
+	backoff  time.Duration
+	nextDial time.Time
 }
 
 func newPool(h *Host) *pool {
@@ -52,10 +65,29 @@ func (p *pool) get(addr transport.Addr, dialTimeout time.Duration) (pc *peerConn
 	if e.pc != nil && !e.pc.isClosed() {
 		return e.pc, true, nil
 	}
+	bo := p.h.opts.DialBackoff
+	if bo > 0 && time.Now().Before(e.nextDial) {
+		return nil, false, fmt.Errorf("%w: dial to %s suppressed for %s (reconnect backoff)",
+			transport.ErrUnreachable, addr, time.Until(e.nextDial).Round(time.Millisecond))
+	}
 	pc, err = p.dial(addr, dialTimeout)
 	if err != nil {
+		if bo > 0 {
+			if e.backoff == 0 {
+				e.backoff = bo
+			} else {
+				e.backoff *= 2
+				if e.backoff > p.h.opts.DialBackoffMax {
+					e.backoff = p.h.opts.DialBackoffMax
+				}
+			}
+			// Up to 25% jitter so many callers' retries decorrelate.
+			e.nextDial = time.Now().Add(e.backoff + time.Duration(rand.Int63n(int64(e.backoff)/4+1)))
+		}
 		return nil, false, err
 	}
+	e.backoff = 0
+	e.nextDial = time.Time{}
 	e.pc = pc
 	return pc, false, nil
 }
@@ -78,6 +110,7 @@ func (p *pool) discard(pc *peerConn) {
 }
 
 func (p *pool) dial(addr transport.Addr, timeout time.Duration) (*peerConn, error) {
+	p.dials.Add(1)
 	conn, err := net.DialTimeout("tcp", string(addr), timeout)
 	if err != nil {
 		return nil, err
@@ -186,7 +219,7 @@ func (pc *peerConn) pendingCount() int {
 // wrote reports whether the request made it onto the wire — a false
 // return means the peer cannot have seen it, so the caller may safely
 // retry on a fresh connection.
-func (pc *peerConn) call(method string, from transport.Addr, req any, timeout time.Duration) (resp *frame, wrote bool, err error) {
+func (pc *peerConn) call(method string, from transport.Addr, req any, timeout time.Duration, ft fault) (resp *frame, wrote bool, err error) {
 	pc.touch()
 	id := pc.nextID.Add(1)
 	ch := make(chan *frame, 1)
@@ -202,10 +235,13 @@ func (pc *peerConn) call(method string, from transport.Addr, req any, timeout ti
 		Kind: frameReq, ID: id, Method: method, From: string(from),
 		TimeoutMS: timeout.Milliseconds(), Payload: req,
 	}
-	if err := writeFrame(pc.conn, &pc.wmu, f, time.Now().Add(timeout)); err != nil {
+	if err := writeFrameFault(pc.conn, &pc.wmu, f, time.Now().Add(timeout), pc.p.h.opts.MaxFrame, ft); err != nil {
 		pc.unregister(id)
 		pc.p.discard(pc)
-		return nil, false, transport.ErrUnreachable
+		// A chaos reset put part of the frame on the wire, so the peer
+		// may have seen bytes: report wrote=true to veto the
+		// reconnect-once retry (at-most-once must hold under chaos too).
+		return nil, errors.Is(err, errChaosReset), transport.ErrUnreachable
 	}
 
 	t := time.NewTimer(timeout)
@@ -237,7 +273,7 @@ func (pc *peerConn) unregister(id uint64) {
 func (pc *peerConn) readLoop() {
 	br := bufio.NewReader(pc.conn)
 	for {
-		f, err := readFrame(br)
+		f, err := readFrame(br, pc.p.h.opts.MaxFrame)
 		if err != nil {
 			pc.p.discard(pc)
 			return

@@ -255,7 +255,7 @@ func TestBadFrameGetsDownReply(t *testing.T) {
 	if _, err := conn.Write([]byte{0, 0, 0, 4, 0xde, 0xad, 0xbe, 0xef}); err != nil {
 		t.Fatal(err)
 	}
-	f, err := readFrame(bufio.NewReader(conn))
+	f, err := readFrame(bufio.NewReader(conn), defaultMaxFrame)
 	if err != nil {
 		t.Fatalf("no error reply to bad frame: %v", err)
 	}

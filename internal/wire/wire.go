@@ -55,6 +55,7 @@ func Messages() []any {
 		grid.ProbeJobReq{}, grid.ProbeJobResp{}, grid.TrustReq{}, grid.TrustResp{},
 		grid.StatsReq{}, grid.StatsResp{}, grid.TraceReq{}, grid.TraceResp{},
 		grid.ReplicasReq{}, grid.ReplicasResp{},
+		grid.HealthReq{}, grid.HealthResp{},
 		// replica
 		replica.PutReq{}, replica.PutResp{}, replica.SyncReq{}, replica.SyncResp{},
 		replica.ProbeReq{}, replica.ProbeResp{},

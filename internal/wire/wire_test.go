@@ -174,6 +174,11 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 				{Addr: "s:2", Epoch: 2, Version: 4},
 			},
 		}},
+		grid.HealthReq{},
+		grid.HealthResp{Node: "o:1", Peers: []grid.PeerHealth{
+			{Peer: "s:1", State: "open", ConsecFails: 5, Failures: 9, Successes: 3, Opens: 1, RetryIn: 2 * time.Second},
+			{Peer: "s:2", State: "closed", Successes: 40},
+		}},
 	}
 	for _, msg := range cases {
 		got, err := RoundTrip(msg)
