@@ -32,6 +32,13 @@
 //
 //	gridctl health -node 127.0.0.1:7001
 //	gridctl chaos -bootstrap 127.0.0.1:7001 -n 40 -work 300ms -json
+//
+// The watch subcommand follows one job's push notifications over the
+// DHT pub/sub overlay (nodes must run with -notify; DESIGN.md §13) —
+// job-state transitions stream in as owners publish them, with no
+// status polling:
+//
+//	gridctl watch -node 127.0.0.1:7001 <job-id>
 package main
 
 import (
@@ -74,6 +81,9 @@ func main() {
 			return
 		case "chaos":
 			chaosCmd(os.Args[2:])
+			return
+		case "watch":
+			watchCmd(os.Args[2:])
 			return
 		}
 	}

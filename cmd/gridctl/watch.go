@@ -1,0 +1,168 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/nettransport"
+	"repro/internal/pubsub"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// watchCmd follows one job lineage's push notifications: it resolves
+// the lineage topic's rendezvous through any grid node (pubsub.resolve
+// works from outside the overlay), subscribes its own ephemeral
+// address, and prints every job-state transition the owners publish —
+// no status polling anywhere. The job id is the GUID `gridctl` prints
+// at submission (the attempt-0 GUID, stable across resubmissions, so
+// one watch spans every attempt). The default exit transition is
+// "completed" — the final owner-published step; result delivery itself
+// happens run-node-to-client and is never pushed.
+//
+// The subscription is re-asserted periodically through a fresh
+// resolve, so a rendezvous death mid-watch re-aims at the successor
+// that took the topic over (DESIGN.md §13).
+func watchCmd(args []string) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	node := fs.String("node", "127.0.0.1:7001", "any grid node (resolves the topic's rendezvous)")
+	until := fs.String("until", "completed", "transition kind that ends the watch ('' = until -timeout)")
+	timeout := fs.Duration("timeout", 5*time.Minute, "give up after this long")
+	resub := fs.Duration("resubscribe-every", 2*time.Second, "subscription re-assertion period")
+	_ = fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gridctl watch [-node addr] [-until kind] <job-id>")
+		os.Exit(2)
+	}
+	topic, err := ids.Parse(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: watch: bad job id: %v\n", err)
+		os.Exit(2)
+	}
+
+	wire.RegisterAll()
+	host, err := nettransport.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridctl: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	// Receiver-side exactly-once: the same (epoch, seq) dedup the
+	// broker's subscriber side runs, with the cumulative ack advancing
+	// over the contiguous prefix so the rendezvous stops redelivering.
+	type dedup struct {
+		upTo int
+		seen map[int]bool
+	}
+	var (
+		mu       sync.Mutex
+		epochs   = map[int]*dedup{}
+		received int
+		done     = make(chan struct{})
+		once     sync.Once
+	)
+	host.Handle(pubsub.MNotify, func(rt transport.Runtime, from transport.Addr, req any) (any, error) {
+		r := req.(pubsub.NotifyReq)
+		if r.Topic != topic {
+			return pubsub.NotifyResp{}, nil
+		}
+		mu.Lock()
+		d := epochs[r.Epoch]
+		if d == nil {
+			d = &dedup{seen: make(map[int]bool)}
+			epochs[r.Epoch] = d
+		}
+		var fresh []pubsub.Event
+		for _, ev := range r.Events {
+			if ev.Seq <= d.upTo || d.seen[ev.Seq] {
+				continue
+			}
+			d.seen[ev.Seq] = true
+			fresh = append(fresh, ev)
+		}
+		for d.seen[d.upTo+1] {
+			delete(d.seen, d.upTo+1)
+			d.upTo++
+		}
+		ack := d.upTo
+		received += len(fresh)
+		mu.Unlock()
+		sort.Slice(fresh, func(i, j int) bool { return fresh[i].Seq < fresh[j].Seq })
+		for _, ev := range fresh {
+			u, err := grid.DecodeJobUpdate(ev.Payload)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridctl: watch: bad payload: %v\n", err)
+				continue
+			}
+			line := fmt.Sprintf("%10v  %-22s attempt=%d node=%s from=%s",
+				u.At.Round(time.Millisecond), u.Kind, u.Attempt, u.Node, u.From)
+			if u.Progress > 0 {
+				line += fmt.Sprintf(" progress=%v", u.Progress.Round(time.Millisecond))
+			}
+			fmt.Println(line)
+			if *until != "" && u.Kind == *until {
+				once.Do(func() { close(done) })
+			}
+		}
+		return pubsub.NotifyResp{AckUpTo: ack}, nil
+	})
+
+	// Subscription keep-alive: resolve then subscribe, repeatedly. The
+	// rendezvous treats a duplicate subscribe as a no-op, so the steady
+	// state costs two tiny RPCs per period while guaranteeing a
+	// takeover or a dropped SubscribeReq heals within one period.
+	var rdvMu sync.Mutex
+	var rdv transport.Addr
+	host.Go("watch.subscribe", func(rt transport.Runtime) {
+		for {
+			raw, err := rt.CallT(transport.Addr(*node), pubsub.MResolve, pubsub.ResolveReq{Topic: topic}, 5*time.Second)
+			if err == nil {
+				addr := raw.(pubsub.ResolveResp).Addr
+				if _, err := rt.CallT(addr, pubsub.MSubscribe, pubsub.SubscribeReq{Topic: topic, Sub: host.Addr()}, 5*time.Second); err == nil {
+					rdvMu.Lock()
+					if rdv != addr {
+						rdv = addr
+						fmt.Printf("watching %s (rendezvous %s)\n", topic.Short(), addr)
+					}
+					rdvMu.Unlock()
+				}
+			}
+			rt.Sleep(*resub)
+		}
+	})
+
+	exit := 0
+	select {
+	case <-done:
+	case <-time.After(*timeout):
+		fmt.Fprintf(os.Stderr, "gridctl: watch: timeout before %q\n", *until)
+		exit = 1
+	}
+	// Best-effort unsubscribe so the rendezvous stops redelivering to
+	// an address that is about to disappear.
+	rdvMu.Lock()
+	addr := rdv
+	rdvMu.Unlock()
+	if addr != "" {
+		bye := make(chan struct{})
+		host.Go("watch.unsubscribe", func(rt transport.Runtime) {
+			_, _ = rt.CallT(addr, pubsub.MUnsubscribe, pubsub.UnsubscribeReq{Topic: topic, Sub: host.Addr()}, 2*time.Second)
+			close(bye)
+		})
+		select {
+		case <-bye:
+		case <-time.After(3 * time.Second):
+		}
+	}
+	mu.Lock()
+	fmt.Printf("watch done: %d notifications\n", received)
+	mu.Unlock()
+	os.Exit(exit)
+}

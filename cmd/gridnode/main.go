@@ -20,9 +20,11 @@ import (
 
 	"repro/internal/chord"
 	"repro/internal/grid"
+	"repro/internal/ids"
 	"repro/internal/match"
 	"repro/internal/nettransport"
 	"repro/internal/obs"
+	"repro/internal/pubsub"
 	"repro/internal/resource"
 	"repro/internal/rntree"
 	"repro/internal/sandbox"
@@ -41,6 +43,7 @@ func main() {
 	replicas := flag.Int("replicas", 1, "redundant executions per owned job (1 = no voting)")
 	quorum := flag.Int("quorum", 1, "matching result digests required to accept")
 	probeEvery := flag.Duration("probe-every", 0, "known-answer probe interval for blacklisted peers (0 = off)")
+	notify := flag.Bool("notify", false, "publish job-state transitions over the DHT pub/sub overlay (clients subscribe at submit; see 'gridctl watch')")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address for /metrics, /events, /debug/pprof ('' = off)")
 	transportMode := flag.String("transport", "pooled", "outbound call path: pooled (persistent framed conns) or perdial (one conn per call; benchmarking baseline)")
 	ownerCap := flag.Int("owner-cap", 0, "bound on jobs this node will own at once; beyond it injections are rejected with a retry-after hint (0 = unbounded)")
@@ -150,6 +153,23 @@ func main() {
 		}
 		return len(out) / 1024, nil
 	}
+	// The notification broker rides the same Chord ring: topics hash to
+	// a rendezvous node found by ordinary lookups, so every peer runs a
+	// broker and owners publish to whichever rendezvous a job's topic
+	// maps to (DESIGN.md §13).
+	var broker *pubsub.Broker
+	if *notify {
+		broker = pubsub.New(host, pubsub.Config{
+			Lookup: func(rt transport.Runtime, key ids.ID) (transport.Addr, error) {
+				ref, _, err := ch.Lookup(rt, key)
+				if err != nil {
+					return "", err
+				}
+				return ref.Addr, nil
+			},
+			Obs: o,
+		})
+	}
 	gn := grid.NewNode(host, caps, *osname, overlay, matcher, logger, grid.Config{
 		HeartbeatEvery: time.Second,
 		Executor:       executor,
@@ -163,8 +183,13 @@ func main() {
 		// peers demoted in matchmaking and probing) and grid.health.
 		PeerDown: host.PeerDown,
 		Health:   gridHealth(host),
+		Notify:   broker,
 	})
 	rn.SetLoadFn(gn.QueueLen)
+	if broker != nil {
+		broker.SetOnEvent(gn.OnNotification)
+		ch.SetRingChange(broker.RingChange)
+	}
 
 	if *bootstrap == "" {
 		ch.Create()
@@ -190,6 +215,10 @@ func main() {
 	ch.Start()
 	rn.Start()
 	gn.Start()
+	if broker != nil {
+		broker.Start()
+		fmt.Println("gridnode: pub/sub notifications on (topics rendezvous on the ring)")
+	}
 
 	fmt.Printf("gridnode: caps=%s os=%s; ctrl-c to stop\n", caps, *osname)
 	sig := make(chan os.Signal, 1)

@@ -13,7 +13,8 @@
 // fault injection), ckptsweep (checkpoint/resume policies),
 // trustsweep (sabotage tolerance: replication/quorum/reputation),
 // replsweep (owner-state replication degree under owner+run double
-// crashes), ablate-virtualdim, ablate-k, ablate-fair, all.
+// crashes), notifsweep (pub/sub push notifications vs status polling),
+// ablate-virtualdim, ablate-k, ablate-fair, all.
 package main
 
 import (
@@ -29,7 +30,7 @@ import (
 var experimentOrder = []string{
 	"fig2a", "fig2b", "fig2c", "fig2d",
 	"tab1", "tab2", "tab3", "tab4", "tab5",
-	"faultsweep", "ckptsweep", "trustsweep", "replsweep",
+	"faultsweep", "ckptsweep", "trustsweep", "replsweep", "notifsweep",
 	"ablate-virtualdim", "ablate-k", "ablate-fair",
 }
 
@@ -118,6 +119,8 @@ func run(id string, o experiments.Options) (*experiments.Table, error) {
 		return experiments.TrustSweep(o), nil
 	case "replsweep":
 		return experiments.ReplSweep(o), nil
+	case "notifsweep":
+		return experiments.NotifSweep(o), nil
 	case "ablate-virtualdim":
 		return experiments.VirtualDimAblation(o), nil
 	case "ablate-k":

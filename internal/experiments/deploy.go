@@ -12,8 +12,10 @@ import (
 	"repro/internal/chord"
 	"repro/internal/faultinject"
 	"repro/internal/grid"
+	"repro/internal/ids"
 	"repro/internal/match"
 	"repro/internal/metrics"
+	"repro/internal/pubsub"
 	"repro/internal/replica"
 	"repro/internal/rntree"
 	"repro/internal/sim"
@@ -101,6 +103,20 @@ type Scenario struct {
 	Sabotage *faultinject.ByzPlan
 	// SabotageSeed seeds saboteur selection; defaults to NetSeed.
 	SabotageSeed int64
+	// Notify equips every node with a pub/sub broker and wires it into
+	// the grid (DESIGN.md §13): owners push job-state transitions,
+	// clients subscribe per lineage, and the client monitor polls only
+	// on notification silence. Chord algorithms resolve rendezvous
+	// nodes through the ring (with subscriber-list replication at the
+	// grid's ReplicaK); others fall back to a fixed rendezvous.
+	Notify bool
+	// Monitor forces the client recovery monitor on even in fault-free
+	// runs (it is always on under Churn/Faults/Sabotage), so polling
+	// traffic is measurable in clean push-vs-poll comparisons.
+	Monitor bool
+	// MonitorResubmitAfter overrides the monitor's resubmit grace
+	// (default 30s).
+	MonitorResubmitAfter time.Duration
 	// NodeSpecs overrides the generated node population (the facade and
 	// examples use this to supply explicit per-node resources).
 	NodeSpecs []workload.NodeSpec
@@ -124,6 +140,7 @@ type Deployment struct {
 	Registry  *match.Registry
 	Collector *metrics.Collector
 	Byz       *faultinject.Byz // saboteur selection; nil without Sabotage
+	Brokers   []*pubsub.Broker // notification overlay; nil without Notify
 	ttls      []*match.TTL
 	clients   []int // grid node index serving each workload client
 }
@@ -237,6 +254,33 @@ func Build(s Scenario) *Deployment {
 		if gcfg.ReplicaK > 0 && needChord {
 			gcfg.ReplicaRing = replica.ChordRing{Node: d.Chords[i]}
 		}
+		if s.Notify {
+			pcfg := pubsub.Config{Obs: gcfg.Obs}
+			if needChord {
+				ch := d.Chords[i]
+				pcfg.Lookup = func(rt transport.Runtime, key ids.ID) (transport.Addr, error) {
+					ref, _, err := ch.Lookup(rt, key)
+					if err != nil {
+						return "", err
+					}
+					return ref.Addr, nil
+				}
+				if gcfg.ReplicaK > 0 {
+					pcfg.Ring = replica.ChordRing{Node: ch}
+					pcfg.K = gcfg.ReplicaK
+				}
+			} else {
+				// No ring to hash topics onto: a fixed rendezvous keeps
+				// the overlay usable under the CAN algorithms.
+				rdv := d.Hosts[0].Addr()
+				pcfg.Lookup = func(rt transport.Runtime, key ids.ID) (transport.Addr, error) {
+					return rdv, nil
+				}
+			}
+			b := pubsub.New(h, pcfg)
+			d.Brokers = append(d.Brokers, b)
+			gcfg.Notify = b
+		}
 		if s.Trust != nil {
 			tb := trust.New(*s.Trust)
 			gcfg.Trust = tb
@@ -258,10 +302,23 @@ func Build(s Scenario) *Deployment {
 	// Late wiring that needs the grid node.
 	for i := 0; i < n; i++ {
 		gn := d.Grids[i]
-		if s.Grid.ReplicaK > 0 && needChord {
-			// Stabilization events re-aim replica pushes immediately
-			// instead of waiting out the next anti-entropy period.
-			d.Chords[i].SetRingChange(gn.ReplicaKick)
+		if s.Notify {
+			d.Brokers[i].SetOnEvent(gn.OnNotification)
+		}
+		if needChord {
+			// Stabilization events re-aim replica pushes (and pub/sub
+			// subscriber-list replication) immediately instead of
+			// waiting out the next anti-entropy period.
+			replKick := s.Grid.ReplicaK > 0
+			switch {
+			case replKick && s.Notify:
+				b := d.Brokers[i]
+				d.Chords[i].SetRingChange(func() { gn.ReplicaKick(); b.RingChange() })
+			case replKick:
+				d.Chords[i].SetRingChange(gn.ReplicaKick)
+			case s.Notify:
+				d.Chords[i].SetRingChange(d.Brokers[i].RingChange)
+			}
 		}
 		if len(d.RNs) > 0 {
 			d.RNs[i].SetLoadFn(gn.QueueLen)
@@ -290,6 +347,9 @@ func Build(s Scenario) *Deployment {
 	// Start node activities.
 	for i := 0; i < n; i++ {
 		d.Grids[i].Start()
+		if s.Notify {
+			d.Brokers[i].Start()
+		}
 		if s.Maintenance {
 			if needChord {
 				d.Chords[i].Start()
@@ -319,6 +379,12 @@ func (d *Deployment) Crash(i int) { d.Eps[i].Crash() }
 func (d *Deployment) Restart(i int) {
 	d.Eps[i].Restart()
 	d.Grids[i].Restart()
+	if d.Brokers != nil {
+		// The broker restarts alongside the grid node, soft state
+		// cleared — replicated subscriber lists recover via push-back.
+		d.Brokers[i].Reset()
+		d.Brokers[i].Start()
+	}
 }
 
 func chordNeighbors(ch *chord.Node) []transport.Addr {

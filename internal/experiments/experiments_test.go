@@ -338,3 +338,33 @@ func TestZeroConfigTraceUnchangedByVotingCode(t *testing.T) {
 		t.Fatalf("zero-config run shows voting activity: %+v", res)
 	}
 }
+
+// TestNotifSweepCutsPolling pins the notification overlay's headline
+// claim: on the same seeded crash/drop schedule, push mode cuts the
+// client monitor's status-poll RPCs by at least 3x versus polling,
+// without losing a single job or changing the resubmit count.
+func TestNotifSweepCutsPolling(t *testing.T) {
+	o := Options{Scale: 0.04, Seed: 7}
+	for _, clients := range []int{4, 8} {
+		poll := NotifRun(o, clients, false)
+		push := NotifRun(o, clients, true)
+		t.Logf("clients=%d poll: status=%d resubmits=%d; push: status=%d pubsub=%d notify=%d resubmits=%d",
+			clients, poll.StatusRPCs, poll.Resubmits, push.StatusRPCs, push.PubsubMsgs, push.NotifyRecv, push.Resubmits)
+		if poll.Delivered != poll.Jobs || push.Delivered != push.Jobs {
+			t.Fatalf("clients=%d lost jobs: poll %d/%d push %d/%d",
+				clients, poll.Delivered, poll.Jobs, push.Delivered, push.Jobs)
+		}
+		if poll.PubsubMsgs != 0 || poll.NotifyRecv != 0 {
+			t.Fatalf("clients=%d poll mode leaked pubsub traffic: msgs=%d recv=%d",
+				clients, poll.PubsubMsgs, poll.NotifyRecv)
+		}
+		if push.PubsubMsgs == 0 || push.NotifyRecv == 0 {
+			t.Fatalf("clients=%d push mode pushed nothing: msgs=%d recv=%d",
+				clients, push.PubsubMsgs, push.NotifyRecv)
+		}
+		if push.StatusRPCs*3 > poll.StatusRPCs {
+			t.Fatalf("clients=%d push did not cut polling 3x: poll=%d push=%d",
+				clients, poll.StatusRPCs, push.StatusRPCs)
+		}
+	}
+}

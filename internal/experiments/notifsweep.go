@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/grid"
+)
+
+// notifPlan is the delay-heavy schedule the notification overlay is
+// measured under: run-node crashes (mostly restarted) plus lossy
+// heartbeats stretch job lifetimes past the monitor's patience, so a
+// polling client has to keep asking owners where its jobs are. The
+// push path answers the same question with the transitions recovery
+// already generates.
+func notifPlan() *faultinject.Plan {
+	return &faultinject.Plan{
+		Crashes:         8,
+		RestartProb:     0.9,
+		RestartDelayMin: 5 * time.Second,
+		RestartDelayMax: 15 * time.Second,
+		Rules: []faultinject.Rule{
+			{Method: grid.MHeartbeat, DropProb: 0.5},
+		},
+	}
+}
+
+// notifGridCfg is the grid tuning NotifSweep runs under: tight failure
+// detection against lossy heartbeats makes false run-deaths routine, so
+// most jobs live through a few recovery rounds and overrun the
+// monitor's patience. Every recovery step publishes a transition, and
+// the periodic checkpoints fill the gaps between them, so in push mode
+// the same stretched jobs stay inside the silence window and never
+// cost a probe.
+func notifGridCfg() grid.Config {
+	return grid.Config{
+		HeartbeatEvery:  time.Second,
+		RunDeadAfter:    3 * time.Second,
+		OwnerDeadAfter:  3 * time.Second,
+		MatchRetryEvery: 2 * time.Second,
+		MaxRematch:      50,
+		CheckpointEvery: 2 * time.Second,
+		NotifySilence:   10 * time.Second,
+	}
+}
+
+// NotifRun executes one cell of the notification sweep: the standard
+// workload at o.Scale (jobs cut to a fifth, runtimes around 10s)
+// driven through notifPlan's crash-and-drop schedule, with the pub/sub
+// overlay wired (push) or absent (poll). Exposed separately so tests
+// can assert on the raw Results rather than re-parse the table.
+func NotifRun(o Options, clients int, notify bool) Results {
+	wcfg := o.base()
+	wcfg.Jobs = wcfg.Jobs / 5
+	wcfg.Clients = clients
+	wcfg.MeanRuntime = 10 * time.Second
+	return Build(Scenario{
+		Alg:                  AlgCentral,
+		Workload:             wcfg,
+		Grid:                 notifGridCfg(),
+		NetSeed:              o.Seed + 105,
+		Notify:               notify,
+		Monitor:              true,
+		MonitorResubmitAfter: 2 * time.Second,
+		Faults:               notifPlan(),
+		FaultSeed:            o.Seed + 106,
+	}).Run()
+}
+
+// NotifSweep compares the client monitor's traffic with and without
+// the pub/sub notification overlay (DESIGN.md §13) on identical seeded
+// fault schedules. In polling mode every delayed job costs the client
+// repeated grid.status probes; in push mode owners publish each
+// job-state transition and the monitor polls only on notification
+// silence, so status traffic collapses while the push traffic rides
+// the (batched) pubsub.* methods. The paper-level claim pinned by CI:
+// push cuts status-poll RPCs by at least 3x on the same schedule.
+func NotifSweep(o Options) *Table {
+	tbl := &Table{
+		Title:  "Notification sweep: client monitor traffic, push vs status polling (central matchmaker, seeded crash/drop schedule)",
+		Header: []string{"clients", "jobs", "mode", "delivered", "status-rpcs", "status/job", "pubsub-msgs", "pubsub/job", "notify-recv", "resubmits", "poll-reduction"},
+		Notes: []string{
+			"schedules are seeded: identical options reproduce identical rows",
+			"status-rpcs: grid.status requests on the wire; pubsub-msgs: all pubsub.* requests",
+			"poll-reduction: polling run's status-rpcs over the push run's, same schedule",
+		},
+	}
+	for _, clients := range []int{4, 8} {
+		var polled Results
+		for _, notify := range []bool{false, true} {
+			mode := "poll"
+			if notify {
+				mode = "push"
+			}
+			o.logf("notifsweep clients=%d mode=%s", clients, mode)
+			res := NotifRun(o, clients, notify)
+			reduction := "-"
+			if notify {
+				switch {
+				case res.StatusRPCs > 0:
+					reduction = fmt.Sprintf("%.1fx", float64(polled.StatusRPCs)/float64(res.StatusRPCs))
+				case polled.StatusRPCs > 0:
+					reduction = fmt.Sprintf(">=%dx", polled.StatusRPCs)
+				}
+			}
+			jobs := float64(res.Jobs)
+			tbl.Rows = append(tbl.Rows, []string{
+				fmt.Sprint(clients),
+				fmt.Sprint(res.Jobs),
+				mode,
+				fmt.Sprintf("%d/%d", res.Delivered, res.Jobs),
+				fmt.Sprint(res.StatusRPCs),
+				fmt.Sprintf("%.2f", float64(res.StatusRPCs)/jobs),
+				fmt.Sprint(res.PubsubMsgs),
+				fmt.Sprintf("%.2f", float64(res.PubsubMsgs)/jobs),
+				fmt.Sprint(res.NotifyRecv),
+				fmt.Sprint(res.Resubmits),
+				reduction,
+			})
+			if !notify {
+				polled = res
+			}
+		}
+	}
+	return tbl
+}

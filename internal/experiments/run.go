@@ -61,6 +61,13 @@ type Results struct {
 	Resumes     int
 	ResumedWork time.Duration // work salvaged by resuming from snapshots
 
+	// Notification-overlay accounting (DESIGN.md §13; zero without
+	// Scenario.Notify except StatusRPCs, which counts polling too).
+	StatusRPCs   int64 // grid.status requests on the wire (polling cost)
+	PubsubMsgs   int64 // pubsub.* requests on the wire (push cost)
+	NotifyRecv   int64 // notifications absorbed by client nodes
+	StatusProbes int64 // status probes client monitors chose to send
+
 	// Replication counters (zero with ReplicaK 0).
 	Promotions int // replicas that took over a dead owner's jobs
 	Handoffs   int // re-established execution paths after takeover/restore
@@ -105,8 +112,12 @@ func (d *Deployment) Run() Results {
 				_, _ = node.Submit(rt, grid.JobSpec{Cons: job.Cons, Work: job.Work, InputKB: 4})
 			}
 		})
-		if s.Churn > 0 || s.Faults != nil || s.Sabotage != nil {
-			node.StartClientMonitor(30 * time.Second)
+		if s.Monitor || s.Churn > 0 || s.Faults != nil || s.Sabotage != nil {
+			resubmitAfter := s.MonitorResubmitAfter
+			if resubmitAfter == 0 {
+				resubmitAfter = 30 * time.Second
+			}
+			node.StartClientMonitor(resubmitAfter)
 		}
 	}
 
@@ -209,6 +220,16 @@ func (d *Deployment) results() Results {
 		GaveUp:        col.Count(grid.EvGaveUp),
 		Faulted:       d.Net.Stats.Faulted,
 		SimEnd:        time.Duration(d.Engine.Now()),
+	}
+	res.StatusRPCs = d.Net.Stats.ByMethod[grid.MStatus]
+	for method, count := range d.Net.Stats.ByMethod {
+		if strings.HasPrefix(method, "pubsub.") {
+			res.PubsubMsgs += count
+		}
+	}
+	for _, g := range d.Grids {
+		res.NotifyRecv += g.NotifyRecv
+		res.StatusProbes += g.StatusProbes
 	}
 	startedJobs := 0
 	for _, tr := range col.Jobs() {

@@ -65,6 +65,13 @@ func (n *Node) prepareSubmit(rt transport.Runtime, spec JobSpec, seq, attempt in
 		submitAt: rt.Now(),
 	}
 	n.mu.Unlock()
+	// With push notifications on, subscribe to the lineage topic once,
+	// at the first attempt; resubmissions publish to the same topic, so
+	// the subscription spans them. The broker only queues the intent
+	// here — the subscribe RPC goes out on its own activities.
+	if n.cfg.Notify != nil && attempt == 0 {
+		n.cfg.Notify.Subscribe(NotifyTopic(req.Client, seq))
+	}
 	// The trace spans the whole lineage: its ID is the attempt-0 GUID,
 	// so resubmissions chain onto the same trace.
 	req.TC = n.trace(obs.TC{ID: TraceID(req.Client, seq)}, rt.Now(), "submitted", attempt,
@@ -246,19 +253,22 @@ func (n *Node) injectBatchWithRetry(rt transport.Runtime, reqs []InjectReq) []In
 
 // batchItem is one submission waiting in the flush-window queue.
 type batchItem struct {
-	req  InjectReq
-	res  InjectResult
-	done bool
+	req   InjectReq
+	res   InjectResult
+	done  bool
+	ready chan struct{} // closed when the flush resolved res/done
 }
 
 // submitViaBatcher coalesces concurrent Submit calls into batches: the
 // first enqueuer after a flush becomes the flusher, sleeps the window,
 // and injects everything queued behind it; later enqueuers wait for
-// their item to resolve. Waiting is by polling through rt.Sleep —
-// never by blocking on a channel — because under simulation a proc may
-// suspend only via its Runtime.
+// their item to resolve. On a runtime that can block on channels (the
+// live transport) the waiter parks on the item's ready channel and
+// wakes exactly when the flush resolves it; a simulated proc may
+// suspend only via its Runtime, so there the wait stays a bounded
+// sleep-poll against the virtual clock.
 func (n *Node) submitViaBatcher(rt transport.Runtime, req InjectReq, jobID ids.ID) (ids.ID, error) {
-	it := &batchItem{req: req}
+	it := &batchItem{req: req, ready: make(chan struct{})}
 	n.batchMu.Lock()
 	n.batchQ = append(n.batchQ, it)
 	flusher := len(n.batchQ) == 1
@@ -267,18 +277,22 @@ func (n *Node) submitViaBatcher(rt transport.Runtime, req InjectReq, jobID ids.I
 		rt.Sleep(n.cfg.InjectFlushWindow)
 		n.flushBatch(rt)
 	}
-	poll := n.cfg.InjectFlushWindow / 4
-	if poll < time.Millisecond {
-		poll = time.Millisecond
-	}
-	for {
-		n.batchMu.Lock()
-		done := it.done
-		n.batchMu.Unlock()
-		if done {
-			break
+	if w, ok := rt.(transport.ChanWaiter); ok {
+		w.AwaitChan(it.ready)
+	} else {
+		poll := n.cfg.InjectFlushWindow / 4
+		if poll < time.Millisecond {
+			poll = time.Millisecond
 		}
-		rt.Sleep(poll)
+		for {
+			n.batchMu.Lock()
+			done := it.done
+			n.batchMu.Unlock()
+			if done {
+				break
+			}
+			rt.Sleep(poll)
+		}
 	}
 	if err := it.res.resultErr(); err != nil {
 		return jobID, err
@@ -312,6 +326,7 @@ func (n *Node) flushBatch(rt transport.Runtime) {
 		for k, it := range part {
 			it.res = results[k]
 			it.done = true
+			close(it.ready)
 		}
 		n.batchMu.Unlock()
 	}
@@ -375,6 +390,9 @@ func (n *Node) acceptResult(rt transport.Runtime, res Result, tc obs.TC) obs.TC 
 	}
 	n.mu.Unlock()
 	if fresh {
+		if n.cfg.Notify != nil {
+			n.cfg.Notify.Unsubscribe(NotifyTopic(n.host.Addr(), seq))
+		}
 		if tc.Zero() {
 			tc = obs.TC{ID: TraceID(n.host.Addr(), seq)}
 		}
@@ -407,10 +425,19 @@ func (n *Node) StartClientMonitor(resubmitAfter time.Duration) {
 				if p.got {
 					continue
 				}
-				patience := p.work*2 + resubmitAfter
-				if now-p.submitAt > patience {
-					checks = append(checks, check{id: id, p: *p})
+				patience := p.work + resubmitAfter
+				if now-p.submitAt <= patience {
+					continue
 				}
+				// A recent push notification is proof of life: someone is
+				// demonstrably driving the job, so grant the same patience
+				// extension a Known status probe would have produced —
+				// without the RPC. Polling fires only on silence.
+				if n.cfg.Notify != nil && p.lastNotify > 0 && now-p.lastNotify <= n.cfg.NotifySilence {
+					p.submitAt = now
+					continue
+				}
+				checks = append(checks, check{id: id, p: *p})
 			}
 			n.mu.Unlock()
 			// Deterministic order: map iteration would randomize which
@@ -468,20 +495,31 @@ func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendi
 	n.trace(n.om.tracer.Context(TraceID(n.host.Addr(), p.seq)), rt.Now(), "resubmitted", p.attempt, "",
 		n.traceNote("next_attempt=%d", p.attempt+1))
 	n.rec.Record(Event{Kind: EvResubmitted, JobID: jobID, Attempt: p.attempt, At: rt.Now(), Node: n.host.Addr()})
+	n.notifyTransition(rt.Now(), Profile{ID: jobID, Client: n.host.Addr(), Seq: p.seq, Attempt: p.attempt},
+		EvResubmitted, n.host.Addr(), 0)
 	spec := JobSpec{Cons: p.cons, Work: p.work, InputKB: p.inputKB, OutputKB: p.outputKB}
 	_, _ = n.submitAttempt(rt, spec, p.seq, p.attempt+1)
 }
 
 // statusKnown probes one candidate for the job's status. On a Known
-// answer it extends the monitor's patience by resetting the submit
-// clock and re-aims the pending entry at whatever owner and replica
+// answer it re-aims the pending entry at whatever owner and replica
 // chain the responder reports (empty when a replica answered on a live
-// owner's behalf).
+// owner's behalf) and moves the job into watch cadence: a job that is
+// confirmed alive but already past its expected runtime is exactly the
+// one the client wants prompt news about, so instead of granting a
+// whole fresh patience window the monitor re-probes once per grace
+// interval until the result lands. This recurring poll traffic is what
+// the notification overlay eliminates — a pushed transition inside the
+// silence window skips the probe entirely.
 func (n *Node) statusKnown(rt transport.Runtime, jobID ids.ID, p pendingJob, addr transport.Addr) bool {
 	// The status probe carries the lineage's context for wire
 	// uniformity; the responder records nothing for it (a query, not a
 	// lifecycle step).
 	sreq := StatusReq{JobID: jobID, TC: n.om.tracer.Context(TraceID(n.host.Addr(), p.seq))}
+	n.mu.Lock()
+	n.StatusProbes++
+	n.mu.Unlock()
+	n.om.statusProbes.Inc()
 	var raw any
 	var err error
 	if addr == n.host.Addr() {
@@ -498,7 +536,9 @@ func (n *Node) statusKnown(rt transport.Runtime, jobID ids.ID, p pendingJob, add
 	}
 	n.mu.Lock()
 	if pp, ok := n.pending[jobID]; ok {
-		pp.submitAt = rt.Now()
+		// Backdate the clock by the runtime share of the patience budget
+		// so only the grace (resubmitAfter) portion separates probes.
+		pp.submitAt = rt.Now() - pp.work
 		if resp.Owner != "" {
 			pp.owner = resp.Owner
 			pp.reps = resp.Reps

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/pubsub"
 	"repro/internal/resource"
 	"repro/internal/transport"
 	"repro/internal/trust"
@@ -171,6 +172,22 @@ type Config struct {
 	// behavior, and what deterministic replays of old seeds expect).
 	InjectFlushWindow time.Duration
 
+	// Notify, when set, attaches the DHT pub/sub notification overlay
+	// (DESIGN.md §13): this node publishes every owner-side job-state
+	// transition to the job lineage's topic (the attempt-0 GUID), and
+	// the client side subscribes on submit so the monitor becomes
+	// push-driven — per-job status polling demotes to a slow liveness
+	// fallback that fires only on notification silence. Default nil:
+	// off, the paper's polling monitor, and what seeded replays of
+	// earlier PRs expect. All publish/subscribe I/O runs on
+	// broker-owned activities, never on the protocol hot path, so
+	// protocol outcomes are unchanged with it on or off.
+	Notify *pubsub.Broker
+	// NotifySilence is how long a push notification keeps a due
+	// pending job fresh in the client monitor before the polling
+	// fallback probes it anyway (default 3*HeartbeatEvery).
+	NotifySilence time.Duration
+
 	// Obs, when set, attaches the live observability layer: lifecycle
 	// metrics feed its registry, job traces its tracer, and structured
 	// events its hub. Observability is trace-neutral — it never feeds
@@ -262,6 +279,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InjectBatchMax == 0 {
 		c.InjectBatchMax = 64
+	}
+	if c.NotifySilence == 0 {
+		c.NotifySilence = 3 * c.HeartbeatEvery
 	}
 	return c
 }

@@ -86,6 +86,14 @@ func newCluster(t *testing.T, n int, seed int64, cfg grid.Config, caps func(i in
 // newClusterCfg builds a cluster with per-node grid configuration —
 // the Byzantine soak needs saboteur hooks on some nodes only.
 func newClusterCfg(t *testing.T, n int, seed int64, cfgFor func(i int) grid.Config, caps func(i int) (resource.Vector, string)) *cluster {
+	return newClusterPrep(t, n, seed, cfgFor, caps, nil)
+}
+
+// newClusterPrep additionally invokes prep with each node's host and
+// (mutable) grid config before grid.NewNode, so tests can attach
+// host-bound services — a pub/sub broker, say — into the config. A
+// non-nil Matchmaker return overrides the default central matcher.
+func newClusterPrep(t *testing.T, n int, seed int64, cfgFor func(i int) grid.Config, caps func(i int) (resource.Vector, string), prep func(i int, h *simhost.Host, cfg *grid.Config) grid.Matchmaker) *cluster {
 	t.Helper()
 	e := sim.NewEngine(seed)
 	net := simnet.New(e)
@@ -98,6 +106,11 @@ func newClusterCfg(t *testing.T, n int, seed int64, cfgFor func(i int) grid.Conf
 		cv, os := caps(i)
 		cfg := cfgFor(i)
 		var matcher grid.Matchmaker = &match.Central{Reg: c.reg}
+		if prep != nil {
+			if m := prep(i, h, &cfg); m != nil {
+				matcher = m
+			}
+		}
 		if cfg.Trust != nil {
 			matcher = &match.Trusted{Inner: matcher, Table: cfg.Trust}
 		}

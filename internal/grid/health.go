@@ -62,9 +62,23 @@ func (n *Node) demoteDown(addrs []transport.Addr) []transport.Addr {
 	if n.cfg.PeerDown == nil {
 		return addrs
 	}
+	// Scan-first fast path: in the common all-breakers-closed case the
+	// partition is the identity, so return the input unchanged instead
+	// of rebuilding it — this runs on every monitor tick per due job.
+	first := -1
+	for i, a := range addrs {
+		if n.peerDown(a) {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return addrs
+	}
 	alive := make([]transport.Addr, 0, len(addrs))
-	var down []transport.Addr
-	for _, a := range addrs {
+	alive = append(alive, addrs[:first]...)
+	down := []transport.Addr{addrs[first]}
+	for _, a := range addrs[first+1:] {
 		if n.peerDown(a) {
 			down = append(down, a)
 		} else {

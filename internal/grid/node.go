@@ -221,16 +221,16 @@ const (
 	MInjectBatch = "grid.injectbatch"
 	MOwn         = "grid.own"
 	MOwnBatch    = "grid.ownbatch"
-	MAssign    = "grid.assign"
-	MHeartbeat = "grid.heartbeat"
-	MComplete  = "grid.complete"
-	MResult    = "grid.result"
-	MRelay     = "grid.relay"
-	MAdopt     = "grid.adopt"
-	MStatus    = "grid.status"
-	MCkpt      = "grid.checkpoint"
-	MProbe     = "grid.probe"
-	MTrust     = "grid.trust"
+	MAssign      = "grid.assign"
+	MHeartbeat   = "grid.heartbeat"
+	MComplete    = "grid.complete"
+	MResult      = "grid.result"
+	MRelay       = "grid.relay"
+	MAdopt       = "grid.adopt"
+	MStatus      = "grid.status"
+	MCkpt        = "grid.checkpoint"
+	MProbe       = "grid.probe"
+	MTrust       = "grid.trust"
 )
 
 // ownedJob is the owner-side record of a job.
@@ -344,6 +344,12 @@ type Node struct {
 	Completed  int64         // jobs this node finished as run node
 	Executed   time.Duration // nominal work executed (completed slices)
 	executedBy map[ids.ID]time.Duration
+
+	// Client-side notification stats (guarded by mu): push
+	// notifications received, and status probes actually sent by the
+	// monitor — the pair the notifsweep experiment compares.
+	NotifyRecv   int64
+	StatusProbes int64
 }
 
 type pendingJob struct {
@@ -363,6 +369,10 @@ type pendingJob struct {
 	// whoever still tracks the job before concluding it is lost.
 	owner transport.Addr
 	reps  []transport.Addr
+	// lastNotify is when the last push notification for this lineage
+	// arrived (zero if none). A fresh value lets the monitor skip the
+	// status probe: someone alive is demonstrably driving the job.
+	lastNotify time.Duration
 }
 
 // NewNode creates a grid peer bound to host, using the given overlay
@@ -372,13 +382,13 @@ func NewNode(host transport.Host, caps resource.Vector, os string, overlay Overl
 		rec = nopRecorder{}
 	}
 	n := &Node{
-		host:    host,
-		cfg:     cfg.withDefaults(),
-		caps:    caps,
-		os:      os,
-		overlay: overlay,
-		matcher: matcher,
-		rec:     rec,
+		host:       host,
+		cfg:        cfg.withDefaults(),
+		caps:       caps,
+		os:         os,
+		overlay:    overlay,
+		matcher:    matcher,
+		rec:        rec,
 		owned:      make(map[ids.ID]*ownedJob),
 		done:       make(map[ids.ID]bool),
 		pending:    make(map[ids.ID]*pendingJob),
@@ -645,6 +655,7 @@ func (n *Node) ownJob(rt transport.Runtime, prof Profile, tc obs.TC) error {
 	n.mu.Unlock()
 	n.trace(tc, rt.Now(), "owned", prof.Attempt, "", "")
 	n.record(EvOwned, prof, rt.Now())
+	n.notifyTransition(rt.Now(), prof, EvOwned, n.host.Addr(), 0)
 	n.republish(prof.ID)
 	if job.vote != nil {
 		n.host.Go("grid.match", func(rt transport.Runtime) {
@@ -730,6 +741,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 		}
 		n.mu.Unlock()
 		n.record(EvMatched, prof, rt.Now(), stats)
+		n.notifyTransition(rt.Now(), prof, EvMatched, run, 0)
 		n.republish(jobID)
 		return
 	}
@@ -746,6 +758,7 @@ func (n *Node) matchAndAssign(rt transport.Runtime, jobID ids.ID) {
 	if ok {
 		n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 		n.record(EvGaveUp, prof, rt.Now())
+		n.notifyTransition(rt.Now(), prof, EvGaveUp, n.host.Addr(), 0)
 		n.retire(rt.Now(), jobID)
 	}
 }
@@ -817,6 +830,7 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
 			At: now, Node: n.host.Addr(),
 		})
+		n.notifyTransition(now, d.prof, EvRunFailureDetected, d.run, 0)
 		n.republish(d.id)
 	}
 	for _, d := range rematch {
@@ -825,6 +839,7 @@ func (n *Node) monitorTick(rt transport.Runtime) {
 			Kind: EvRunFailureDetected, JobID: d.prof.ID, Attempt: d.prof.Attempt,
 			At: now, Node: n.host.Addr(), Progress: d.saved,
 		})
+		n.notifyTransition(now, d.prof, EvRunFailureDetected, d.run, d.saved)
 		n.republish(d.id)
 		id := d.id
 		n.host.Go("grid.rematch", func(rt transport.Runtime) {
@@ -884,6 +899,7 @@ func (n *Node) tryRelay(rt transport.Runtime, res Result) {
 	if gaveUp {
 		n.trace(tc, rt.Now(), "gave-up", prof.Attempt, "", "")
 		n.record(EvGaveUp, prof, rt.Now())
+		n.notifyTransition(rt.Now(), prof, EvGaveUp, n.host.Addr(), 0)
 		n.retire(rt.Now(), res.JobID)
 	}
 }
@@ -895,10 +911,12 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 	if ok && job.vote != nil {
 		evs, fill := n.applyVoteLocked(rt.Now(), job, c)
 		jobTC := job.tc
+		prof := job.prof
 		n.mu.Unlock()
 		n.traceVoteEvents(c.TC, jobTC, evs)
 		for _, ev := range evs {
 			n.rec.Record(ev)
+			n.notifyTransition(ev.At, prof, ev.Kind, c.Run, 0)
 		}
 		if fill {
 			n.host.Go("grid.fill", func(rt transport.Runtime) {
@@ -930,6 +948,7 @@ func (n *Node) handleComplete(rt transport.Runtime, from transport.Addr, req any
 	if ok {
 		n.trace(tc, rt.Now(), "completed", job.prof.Attempt, c.Run, "")
 		n.record(EvCompleted, job.prof, rt.Now())
+		n.notifyTransition(rt.Now(), job.prof, EvCompleted, c.Run, 0)
 	}
 	if retired {
 		n.retire(rt.Now(), c.JobID)
@@ -998,6 +1017,7 @@ func (n *Node) handleAdopt(rt transport.Runtime, from transport.Addr, req any) (
 	n.mu.Unlock()
 	n.trace(a.TC, rt.Now(), "owner-adopted", a.Prof.Attempt, a.Run, "")
 	n.record(EvOwnerAdopted, a.Prof, rt.Now())
+	n.notifyTransition(rt.Now(), a.Prof, EvOwnerAdopted, a.Run, 0)
 	// Adoption is an ownership transfer: republish opens a new epoch
 	// that fences out whatever the previous owner replicated.
 	n.republish(a.Prof.ID)
@@ -1015,13 +1035,16 @@ func (n *Node) handleCheckpoint(rt transport.Runtime, from transport.Addr, req a
 	c := req.(CheckpointReq)
 	n.mu.Lock()
 	absorbed := false
+	var prof Profile
 	if job, ok := n.owned[c.Ckpt.JobID]; ok && job.vote == nil {
 		absorbed = job.absorbCkpt(c.Ckpt)
+		prof = job.prof
 	}
 	n.mu.Unlock()
 	if absorbed {
 		n.trace(c.TC, rt.Now(), "checkpoint-stored", c.Ckpt.Attempt, c.Run,
 			n.traceNote("done=%s bytes=%d", c.Ckpt.Done, len(c.Ckpt.Data)))
+		n.notifyTransition(rt.Now(), prof, EvCheckpointed, c.Run, c.Ckpt.Done)
 		n.republish(c.Ckpt.JobID)
 	}
 	return CheckpointResp{}, nil

@@ -1,0 +1,355 @@
+package grid_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/grid"
+	"repro/internal/ids"
+	"repro/internal/match"
+	"repro/internal/pubsub"
+	"repro/internal/resource"
+	"repro/internal/simhost"
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+// These soaks pin the two contracts the notification overlay must
+// honour (DESIGN.md §13): losing, delaying, or duplicating
+// notifications can never lose or duplicate a job — the silence
+// fallback re-engages status polling — and turning the overlay on
+// cannot perturb the grid protocol itself: the seeded event trace
+// replays byte-identical with pub/sub on and off.
+
+// notifyCluster is a soak cluster with a pub/sub broker on every node.
+// Brokers are built and started in BOTH the wired and unwired
+// configurations so the simulated process structure is identical at
+// build time; only the grid's Config.Notify hookup differs.
+type notifyCluster struct {
+	*cluster
+	brokers []*pubsub.Broker
+}
+
+// firstCentral is the central matcher with the random tie-break
+// removed: among least-loaded satisfying nodes it picks the lowest
+// address. The neutrality soak compares runs whose proc population
+// differs (pub/sub handler procs each consume one seed draw from the
+// engine's master RNG), so per-proc random streams are differently
+// seeded between runs; an rt.Rand()-based tie-break would diverge on
+// that artefact without any protocol-visible cause. Match outcomes
+// here must be a pure function of grid state.
+type firstCentral struct{ reg *match.Registry }
+
+func (m *firstCentral) FindRunNode(rt transport.Runtime, cons resource.Constraints, exclude []transport.Addr) (transport.Addr, grid.MatchStats, error) {
+	var best transport.Addr
+	bestLoad := -1
+	for _, e := range m.reg.Snapshot() { // sorted by address
+		skip := !e.Entry.Up()
+		for _, x := range exclude {
+			if x == e.Addr {
+				skip = true
+			}
+		}
+		if skip || !cons.SatisfiedBy(e.Entry.Caps, e.Entry.OS) {
+			continue
+		}
+		if load := e.Entry.Load(); bestLoad < 0 || load < bestLoad {
+			best, bestLoad = e.Addr, load
+		}
+	}
+	if bestLoad < 0 {
+		return "", grid.MatchStats{}, fmt.Errorf("firstCentral: no satisfying node for %s", cons)
+	}
+	return best, grid.MatchStats{}, nil
+}
+
+func newNotifyCluster(t *testing.T, n int, seed int64, cfg grid.Config, wired bool) *notifyCluster {
+	t.Helper()
+	nc := &notifyCluster{}
+	// Every topic rendezvouses at node 0: these soaks probe delivery
+	// semantics under faults, not ring placement (the pubsub package's
+	// own tests cover lookup and rendezvous handoff).
+	lookup := func(rt transport.Runtime, key ids.ID) (transport.Addr, error) {
+		return "n000", nil
+	}
+	matcher := &firstCentral{}
+	nc.cluster = newClusterPrep(t, n, seed, func(int) grid.Config { return cfg }, uniform,
+		func(i int, h *simhost.Host, c *grid.Config) grid.Matchmaker {
+			b := pubsub.New(h, pubsub.Config{
+				Lookup:         lookup,
+				FlushEvery:     50 * time.Millisecond,
+				RedeliverEvery: 500 * time.Millisecond,
+				RedeliverMax:   6,
+			})
+			nc.brokers = append(nc.brokers, b)
+			if wired {
+				c.Notify = b
+			}
+			return matcher
+		})
+	matcher.reg = nc.reg
+	for i, b := range nc.brokers {
+		b.SetOnEvent(nc.nodes[i].OnNotification)
+		b.Start()
+	}
+	return nc
+}
+
+// notifySoakHarness restarts the broker alongside the grid node, the
+// way a real process restart rebuilds both.
+type notifySoakHarness struct{ nc *notifyCluster }
+
+func (h notifySoakHarness) Crash(i int) { h.nc.eps[i].Crash() }
+func (h notifySoakHarness) Restart(i int) {
+	h.nc.eps[i].Restart()
+	h.nc.nodes[i].Restart()
+	h.nc.brokers[i].Reset()
+	h.nc.brokers[i].Start()
+}
+
+// notifyStats aggregates the push-path counters of one soak run.
+type notifyStats struct {
+	published  int64 // events handed to brokers by owners
+	delivered  int64 // fresh events handed to OnNotification anywhere
+	redelivery int64 // redelivered + duplicate + abandoned (loss path)
+	notifyRecv int64 // notifications absorbed by the client node
+	probes     int64 // status RPCs the client monitor actually sent
+	resubmits  int   // EvResubmitted events in the trace
+}
+
+func (nc *notifyCluster) gather() notifyStats {
+	var s notifyStats
+	for _, b := range nc.brokers {
+		bs := b.Stats()
+		s.published += bs.Published
+		s.delivered += bs.Delivered
+		s.redelivery += bs.Redelivered + bs.Duplicates + bs.Abandoned
+	}
+	s.notifyRecv = nc.nodes[soakClient].NotifyRecv
+	s.probes = nc.nodes[soakClient].StatusProbes
+	s.resubmits = nc.rec.count(grid.EvResubmitted)
+	return s
+}
+
+// neutralPlan injects faults only on grid methods whose message
+// sequence is identical with pub/sub on and off. No crashes or
+// partitions (a resubmission's timing depends on whether the monitor
+// probed or trusted a push, which is exactly the difference under
+// test), and no catch-all rules: a rule matching pubsub.* methods
+// would consume fault-stream draws in the wired run only and
+// desynchronise every later decision.
+func neutralPlan() faultinject.Plan {
+	return faultinject.Plan{
+		Nodes:   soakNodes,
+		Protect: []int{soakClient},
+		Window:  45 * time.Second,
+		Rules: []faultinject.Rule{
+			{Method: grid.MHeartbeat, DropProb: 0.25},
+			{Method: grid.MAssign, DropProb: 0.1, DupProb: 0.1},
+		},
+	}
+}
+
+// runNeutralSoak executes one seeded schedule on a fixed-latency
+// network — the only RNG-free latency model, so message timing cannot
+// depend on the extra pub/sub traffic — and returns the event trace
+// plus the run's push-path counters.
+func runNeutralSoak(t *testing.T, seed int64, wired bool) ([]string, notifyStats) {
+	t.Helper()
+	nc := newNotifyCluster(t, soakNodes, seed, soakCfg(), wired)
+	defer nc.e.Shutdown()
+	nc.net.Latency = simnet.FixedLatency(12 * time.Millisecond)
+	// A short resubmit grace makes the monitor actually reach the
+	// probe-or-trust decision for delayed jobs; owners stay alive, so
+	// probes come back Known and no resubmission fires in either run.
+	nc.nodes[soakClient].StartClientMonitor(2 * time.Second)
+
+	nc.do(soakClient, func(rt transport.Runtime) {
+		for i := 0; i < soakJobs; i++ {
+			if _, err := nc.nodes[soakClient].Submit(rt, grid.JobSpec{Work: time.Duration(2+i%4) * time.Second}); err != nil {
+				t.Fatalf("seed %d: submit %d: %v", seed, i, err)
+			}
+		}
+	})
+
+	sched := faultinject.Generate(seed, neutralPlan())
+	nc.net.Faults = sched.Injector(func() time.Duration { return time.Duration(nc.e.Now()) })
+	disarm := sched.Arm(nc.e, nc.net, notifySoakHarness{nc}, func(i int) simnet.Addr {
+		return simnet.Addr(nc.hosts[i].Addr())
+	})
+	defer disarm()
+
+	deadline := nc.e.Now().Add(10 * time.Minute)
+	for nc.e.Now() < deadline && nc.nodes[soakClient].PendingCount() > 0 {
+		nc.e.RunFor(5 * time.Second)
+	}
+	if left := nc.nodes[soakClient].PendingCount(); left != 0 {
+		t.Fatalf("seed %d (wired=%v): %d of %d jobs never terminated", seed, wired, left, soakJobs)
+	}
+	return eventTrace(nc.rec), nc.gather()
+}
+
+// TestNotifySoakTraceNeutral is the overlay's hard constraint: for the
+// same seed, the grid's event trace must be byte-identical — every
+// event, timestamp, digest, and attempt number — whether push
+// notifications are wired up or not. Notifications may observe the
+// protocol; they may never steer it.
+func TestNotifySoakTraceNeutral(t *testing.T) {
+	seeds := int64(5)
+	if testing.Short() {
+		seeds = 2
+	}
+	var onProbes, offProbes int64
+	for seed := int64(1); seed <= seeds; seed++ {
+		offTrace, off := runNeutralSoak(t, seed, false)
+		onTrace, on := runNeutralSoak(t, seed, true)
+		if len(offTrace) != len(onTrace) {
+			t.Fatalf("seed %d: %d events with pubsub off, %d with pubsub on", seed, len(offTrace), len(onTrace))
+		}
+		for i := range offTrace {
+			if offTrace[i] != onTrace[i] {
+				t.Fatalf("seed %d: traces diverge at event %d:\n  off: %s\n  on:  %s", seed, i, offTrace[i], onTrace[i])
+			}
+		}
+		// Non-vacuous: the wired run really pushed transitions to the
+		// client, the unwired run really sent none.
+		if on.published == 0 || on.notifyRecv == 0 {
+			t.Fatalf("seed %d: wired run pushed nothing (published=%d notifyRecv=%d)", seed, on.published, on.notifyRecv)
+		}
+		if off.published != 0 || off.notifyRecv != 0 {
+			t.Fatalf("seed %d: unwired run leaked notifications (published=%d notifyRecv=%d)", seed, off.published, off.notifyRecv)
+		}
+		if on.resubmits != 0 || off.resubmits != 0 {
+			t.Fatalf("seed %d: resubmissions fired (on=%d off=%d); the neutrality plan must not reach that path", seed, on.resubmits, off.resubmits)
+		}
+		onProbes += on.probes
+		offProbes += off.probes
+	}
+	// Push must only ever displace polling, never add to it.
+	if onProbes > offProbes {
+		t.Fatalf("client sent more status probes with push on (%d) than off (%d)", onProbes, offProbes)
+	}
+}
+
+// notifyDropPlan is the full recovery soak plan plus heavy loss,
+// delay, and duplication on every pub/sub method. The pubsub rules
+// come first: rule matching is first-wins and the base plan ends with
+// a catch-all delay rule.
+func notifyDropPlan() faultinject.Plan {
+	p := soakPlan()
+	p.Rules = append([]faultinject.Rule{
+		{Method: pubsub.MNotify, DropProb: 0.5, DupProb: 0.2, DelayProb: 0.3, DelayMin: 200 * time.Millisecond, DelayMax: 2 * time.Second},
+		{Method: pubsub.MPublish, DropProb: 0.3, DupProb: 0.2},
+		{Method: pubsub.MSubscribe, DropProb: 0.3},
+		{Method: pubsub.MAck, DropProb: 0.3},
+	}, p.Rules...)
+	return p
+}
+
+// runNotifyDropSoak executes one seeded schedule with the overlay
+// wired and its traffic heavily faulted, on top of the usual crashes,
+// partitions, and grid-method faults. The exactly-once contract must
+// survive: notifications are an optimisation, so losing them can only
+// cost latency (the silence fallback polls), never correctness.
+func runNotifyDropSoak(t *testing.T, seed int64) ([]string, notifyStats) {
+	t.Helper()
+	nc := newNotifyCluster(t, soakNodes, seed, soakCfg(), true)
+	defer nc.e.Shutdown()
+	nc.nodes[soakClient].StartClientMonitor(15 * time.Second)
+
+	nc.do(soakClient, func(rt transport.Runtime) {
+		for i := 0; i < soakJobs; i++ {
+			if _, err := nc.nodes[soakClient].Submit(rt, grid.JobSpec{Work: time.Duration(2+i%4) * time.Second}); err != nil {
+				t.Fatalf("seed %d: submit %d: %v", seed, i, err)
+			}
+		}
+	})
+
+	sched := faultinject.Generate(seed, notifyDropPlan())
+	nc.net.Faults = sched.Injector(func() time.Duration { return time.Duration(nc.e.Now()) })
+	disarm := sched.Arm(nc.e, nc.net, notifySoakHarness{nc}, func(i int) simnet.Addr {
+		return simnet.Addr(nc.hosts[i].Addr())
+	})
+	defer disarm()
+
+	deadline := nc.e.Now().Add(10 * time.Minute)
+	for nc.e.Now() < deadline && nc.nodes[soakClient].PendingCount() > 0 {
+		nc.e.RunFor(5 * time.Second)
+	}
+	if left := nc.nodes[soakClient].PendingCount(); left != 0 {
+		t.Fatalf("seed %d: %d of %d jobs never terminated (crashes=%d parts=%d)",
+			seed, left, soakJobs, len(sched.Nodes), len(sched.Parts))
+	}
+
+	// Exactly once, same contract as the base recovery soak: one
+	// delivery per lineage, soakJobs deliveries in total.
+	nc.rec.mu.Lock()
+	delivered := map[ids.ID]int{}
+	total := 0
+	for _, ev := range nc.rec.evs {
+		if ev.Kind == grid.EvResultDelivered {
+			delivered[ev.JobID]++
+			total++
+		}
+	}
+	nc.rec.mu.Unlock()
+	for id, n := range delivered {
+		if n > 1 {
+			t.Fatalf("seed %d: job %s delivered %d times", seed, id.Short(), n)
+		}
+	}
+	if total != soakJobs {
+		t.Fatalf("seed %d: %d results delivered, want %d", seed, total, soakJobs)
+	}
+	return eventTrace(nc.rec), nc.gather()
+}
+
+// TestNotifySoakDroppedNotifications runs many seeded schedules with
+// the notification overlay under heavy fire and requires zero lost and
+// zero duplicated jobs in every one, plus evidence (aggregated across
+// seeds) that the runs actually exercised both the push path and its
+// polling fallback.
+func TestNotifySoakDroppedNotifications(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 10
+	}
+	var agg notifyStats
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		_, s := runNotifyDropSoak(t, seed)
+		agg.published += s.published
+		agg.redelivery += s.redelivery
+		agg.notifyRecv += s.notifyRecv
+		agg.probes += s.probes
+	}
+	if agg.published == 0 || agg.notifyRecv == 0 {
+		t.Fatalf("push path never exercised: published=%d notifyRecv=%d", agg.published, agg.notifyRecv)
+	}
+	if agg.redelivery == 0 {
+		t.Fatalf("loss path never exercised: no redeliveries, duplicates, or abandonments in %d seeds", seeds)
+	}
+	if agg.probes == 0 {
+		t.Fatalf("fallback polling never exercised across %d seeds", seeds)
+	}
+}
+
+// TestNotifySoakReplayDeterministic re-runs dropped-notification
+// schedules and requires byte-identical event traces: the pub/sub
+// overlay, like every other subsystem, must stay inside the sim's
+// seeded-replay discipline.
+func TestNotifySoakReplayDeterministic(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		a, _ := runNotifyDropSoak(t, seed)
+		b, _ := runNotifyDropSoak(t, seed)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: replay produced %d events, first run %d", seed, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: traces diverge at event %d:\n  first:  %s\n  replay: %s", seed, i, a[i], b[i])
+			}
+		}
+	}
+}

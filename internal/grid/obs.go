@@ -36,6 +36,9 @@ type nodeObs struct {
 	hbFailed *obs.Counter // heartbeat RPCs that errored
 	hbRecv   *obs.Counter // heartbeat RPCs received (owner side)
 
+	statusProbes *obs.Counter // status polls the client monitor actually sent
+	notifyRecv   *obs.Counter // push notifications received (client side)
+
 	events [len(eventNames)]*obs.Counter // per-EventKind lifecycle tallies
 }
 
@@ -45,18 +48,20 @@ var ckptBytesBuckets = []float64{256, 1024, 4096, 16384, 65536, 262144, 1048576,
 func newNodeObs(n *Node, o *obs.Obs) *nodeObs {
 	r := o.Registry()
 	no := &nodeObs{
-		tracer:      o.GetTracer(),
-		queueWait:   r.Histogram("grid_queue_wait_seconds", obs.DefBucketsSeconds),
-		runSeconds:  r.Histogram("grid_run_seconds", obs.DefBucketsSeconds),
-		ckptBytes:   r.Histogram("grid_checkpoint_bytes", ckptBytesBuckets),
-		matchHops:   r.Histogram("grid_match_hops", obs.DefBucketsHops),
-		matchVisits: r.Histogram("grid_match_visits", obs.DefBucketsHops),
-		injectHops:  r.Histogram("grid_inject_hops", obs.DefBucketsHops),
-		injectSecs:  r.Histogram("grid_inject_seconds", obs.DefBucketsSeconds),
-		hbSent:      r.Counter("grid_heartbeats_sent_total"),
-		hbAcked:     r.Counter("grid_heartbeats_acked_total"),
-		hbFailed:    r.Counter("grid_heartbeat_failures_total"),
-		hbRecv:      r.Counter("grid_heartbeats_received_total"),
+		tracer:       o.GetTracer(),
+		queueWait:    r.Histogram("grid_queue_wait_seconds", obs.DefBucketsSeconds),
+		runSeconds:   r.Histogram("grid_run_seconds", obs.DefBucketsSeconds),
+		ckptBytes:    r.Histogram("grid_checkpoint_bytes", ckptBytesBuckets),
+		matchHops:    r.Histogram("grid_match_hops", obs.DefBucketsHops),
+		matchVisits:  r.Histogram("grid_match_visits", obs.DefBucketsHops),
+		injectHops:   r.Histogram("grid_inject_hops", obs.DefBucketsHops),
+		injectSecs:   r.Histogram("grid_inject_seconds", obs.DefBucketsSeconds),
+		hbSent:       r.Counter("grid_heartbeats_sent_total"),
+		hbAcked:      r.Counter("grid_heartbeats_acked_total"),
+		hbFailed:     r.Counter("grid_heartbeat_failures_total"),
+		hbRecv:       r.Counter("grid_heartbeats_received_total"),
+		statusProbes: r.Counter("grid_status_probes_total"),
+		notifyRecv:   r.Counter("grid_notifications_received_total"),
 	}
 	for k := range eventNames {
 		no.events[k] = r.Counter("grid_events_total", "kind", eventNames[k])

@@ -159,8 +159,10 @@ func (n *Node) onReplicaOwn(rt transport.Runtime, rec replpkg.Record, promoted b
 	}
 	tc := n.trace(or.TC, now, stage, or.Prof.Attempt, rec.Owner, n.traceNote("epoch=%d", rec.Epoch))
 	n.rec.Record(Event{Kind: kind, JobID: or.Prof.ID, Attempt: or.Prof.Attempt, At: now, Node: n.host.Addr(), Progress: saved})
+	n.notifyTransition(now, or.Prof, kind, n.host.Addr(), saved)
 	tc = n.trace(tc, now, "handoff", or.Prof.Attempt, or.Run, n.traceNote("path=%s", proc))
 	n.rec.Record(Event{Kind: EvHandoff, JobID: or.Prof.ID, Attempt: or.Prof.Attempt, At: now, Node: n.host.Addr(), Progress: saved})
+	n.notifyTransition(now, or.Prof, EvHandoff, or.Run, saved)
 	n.mu.Lock()
 	if job, ok := n.owned[or.Prof.ID]; ok {
 		job.tc = tc

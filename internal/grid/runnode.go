@@ -97,6 +97,7 @@ func (n *Node) execLoop(rt transport.Runtime) {
 		started := rt.Now()
 		n.om.queueWait.Observe((started - job.enqueuedAt).Seconds())
 		n.record(EvStarted, job.prof, started)
+		n.notifyTransition(started, job.prof, EvStarted, n.host.Addr(), job.ckpt.Done)
 		n.executeAndReport(rt, job, started)
 	}
 }

@@ -454,6 +454,11 @@ func (r *runtime) Now() time.Duration    { return time.Since(r.h.start) }
 func (r *runtime) Sleep(d time.Duration) { time.Sleep(d) }
 func (r *runtime) Rand() *rand.Rand      { return r.rng }
 
+// AwaitChan implements transport.ChanWaiter: under wall-clock time a
+// goroutine may park on a channel directly, so waiters wake exactly
+// when the producer closes it instead of sleep-polling.
+func (r *runtime) AwaitChan(ch <-chan struct{}) { <-ch }
+
 func (r *runtime) Call(to transport.Addr, method string, req any) (any, error) {
 	return r.CallT(to, method, req, DefaultCallTimeout)
 }

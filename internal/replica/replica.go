@@ -184,6 +184,13 @@ type Config struct {
 	OnFenced func(rt transport.Runtime, rec Record)
 	// Obs, when non-nil, receives replica counters and gauges.
 	Obs *obs.Obs
+	// MethodPrefix is prepended to the wire method names this manager
+	// registers and calls ("" keeps the canonical "replica.*" names).
+	// A host can then run several independent managers — the grid's
+	// owner-state manager and the pub/sub subsystem's subscriber-list
+	// manager — without their RPC handlers clashing. Both sides of a
+	// deployment must agree on the prefix.
+	MethodPrefix string
 }
 
 func (c Config) withDefaults() Config {
@@ -226,6 +233,9 @@ type Manager struct {
 	ring Ring
 	cfg  Config
 
+	// Wire method names after applying cfg.MethodPrefix.
+	mPut, mSync, mProbe string
+
 	mu       sync.Mutex
 	recs     map[ids.ID]*entry
 	silent   map[transport.Addr]time.Duration // owner -> first failed probe
@@ -235,13 +245,13 @@ type Manager struct {
 	sinceSet bool
 
 	// Instruments (nil-safe when cfg.Obs is nil).
-	mPuts     *obs.Counter
-	mPutRecv  *obs.Counter
-	mSyncs    *obs.Counter
-	mProbes   *obs.Counter
-	mPromoted *obs.Counter
-	mRestored *obs.Counter
-	mFenced   *obs.Counter
+	mPuts      *obs.Counter
+	mPutRecv   *obs.Counter
+	mSyncs     *obs.Counter
+	mProbes    *obs.Counter
+	mPromoted  *obs.Counter
+	mRestored  *obs.Counter
+	mFenced    *obs.Counter
 	mReclaimed *obs.Counter
 }
 
@@ -267,6 +277,9 @@ func New(host transport.Host, ring Ring, cfg Config) *Manager {
 		recs:   make(map[ids.ID]*entry),
 		silent: make(map[transport.Addr]time.Duration),
 	}
+	m.mPut = m.cfg.MethodPrefix + MPut
+	m.mSync = m.cfg.MethodPrefix + MSync
+	m.mProbe = m.cfg.MethodPrefix + MProbe
 	if reg := m.cfg.Obs.Registry(); reg != nil {
 		m.mPuts = reg.Counter("replica_puts_total")
 		m.mPutRecv = reg.Counter("replica_put_received_total")
@@ -294,9 +307,9 @@ func New(host transport.Host, ring Ring, cfg Config) *Manager {
 			return float64(n)
 		})
 	}
-	host.Handle(MPut, m.handlePut)
-	host.Handle(MSync, m.handleSync)
-	host.Handle(MProbe, m.handleProbe)
+	host.Handle(m.mPut, m.handlePut)
+	host.Handle(m.mSync, m.handleSync)
+	host.Handle(m.mProbe, m.handleProbe)
 	return m
 }
 
@@ -515,7 +528,7 @@ func (m *Manager) pushOnce(rt transport.Runtime) {
 func (m *Manager) syncTarget(rt transport.Runtime, tgt transport.Addr, metas []Meta) {
 	self := m.ring.Self()
 	m.mSyncs.Inc()
-	raw, err := rt.Call(tgt, MSync, SyncReq{From: self, Metas: metas})
+	raw, err := rt.Call(tgt, m.mSync, SyncReq{From: self, Metas: metas})
 	if err != nil {
 		return
 	}
@@ -550,7 +563,7 @@ func (m *Manager) syncTarget(rt transport.Runtime, tgt transport.Addr, metas []M
 		return
 	}
 	m.mPuts.Inc()
-	praw, err := rt.Call(tgt, MPut, PutReq{From: self, Recs: push})
+	praw, err := rt.Call(tgt, m.mPut, PutReq{From: self, Recs: push})
 	if err != nil {
 		return
 	}
@@ -598,7 +611,7 @@ func (m *Manager) probeOnce(rt transport.Runtime) {
 	for _, owner := range owners {
 		keys := byOwner[owner]
 		m.mProbes.Inc()
-		raw, err := rt.Call(owner, MProbe, ProbeReq{From: self, Keys: keys})
+		raw, err := rt.Call(owner, m.mProbe, ProbeReq{From: self, Keys: keys})
 		if err != nil {
 			now := rt.Now()
 			m.mu.Lock()
@@ -650,7 +663,7 @@ func (m *Manager) probeOnce(rt transport.Runtime) {
 		m.mu.Unlock()
 		if len(restore) > 0 {
 			m.mPuts.Inc()
-			if praw, err := rt.Call(owner, MPut, PutReq{From: self, Recs: restore}); err == nil {
+			if praw, err := rt.Call(owner, m.mPut, PutReq{From: self, Recs: restore}); err == nil {
 				m.absorbNewer(rt, praw.(PutResp).Newer)
 			}
 		}
@@ -758,7 +771,7 @@ func (m *Manager) probePeers(rt transport.Runtime, blocked map[ids.ID][]transpor
 	for _, p := range peers {
 		keys := byPeer[p]
 		m.mProbes.Inc()
-		raw, err := rt.Call(p, MProbe, ProbeReq{From: self, Keys: keys})
+		raw, err := rt.Call(p, m.mProbe, ProbeReq{From: self, Keys: keys})
 		if err != nil {
 			now := rt.Now()
 			m.mu.Lock()
@@ -801,7 +814,7 @@ func (m *Manager) probePeers(rt transport.Runtime, blocked map[ids.ID][]transpor
 			// if it already promoted, this re-aims our probes at it and
 			// ends the dead-owner polling.
 			m.mSyncs.Inc()
-			if sraw, err := rt.Call(p, MSync, SyncReq{From: self, Metas: metas}); err == nil {
+			if sraw, err := rt.Call(p, m.mSync, SyncReq{From: self, Metas: metas}); err == nil {
 				m.absorbNewer(rt, sraw.(SyncResp).Newer)
 			}
 		}

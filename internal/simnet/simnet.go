@@ -91,6 +91,11 @@ type Stats struct {
 	Handlers  int64 // handler invocations
 	CallsSent int64 // Call invocations
 	Faulted   int64 // messages touched by the fault injector
+	// ByMethod tallies delivered requests per RPC method (lazily
+	// allocated on first delivery) — the breakdown experiments use to
+	// attribute traffic to protocol roles (e.g. status polls vs push
+	// notifications).
+	ByMethod map[string]int64
 }
 
 // Net is a simulated network. All endpoints attach to one Net.
@@ -279,6 +284,10 @@ func (n *Net) deliver(from, to Addr, method string, req any, reply *sim.Chan[rpc
 		return
 	}
 	n.Stats.Messages++
+	if n.Stats.ByMethod == nil {
+		n.Stats.ByMethod = make(map[string]int64)
+	}
+	n.Stats.ByMethod[method]++
 	h, ok := target.handlers[method]
 	if !ok {
 		n.respond(to, from, method, reply, rpcResult{err: fmt.Errorf("%w: %s on %s", ErrNoHandler, method, to)})

@@ -69,3 +69,16 @@ type Runtime interface {
 	// CallT performs a blocking RPC with an explicit timeout.
 	CallT(to Addr, method string, req any, timeout time.Duration) (any, error)
 }
+
+// ChanWaiter is the optional Runtime extension for waiting on an
+// ordinary Go channel. Only runtimes whose clock is wall-clock (the
+// live transport) implement it: there, parking on a channel wakes the
+// waiter exactly when the producer closes it, with no polling.
+// Simulated runtimes deliberately do not implement it — a simulated
+// proc may suspend only through its Runtime, or the virtual clock
+// stalls — so callers must type-assert and fall back to a bounded
+// Sleep poll.
+type ChanWaiter interface {
+	// AwaitChan blocks until ch is closed (or yields a value).
+	AwaitChan(ch <-chan struct{})
+}

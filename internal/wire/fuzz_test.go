@@ -10,6 +10,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/pubsub"
 	"repro/internal/replica"
 	"repro/internal/transport"
 )
@@ -70,6 +71,22 @@ func FuzzWireDecode(f *testing.F) {
 		grid.ReplicasReq{JobID: ids.HashString("fz")},
 		grid.ReplicasResp{Status: replica.Status{Known: true, Owner: "fuzz:1", Epoch: 1, Version: 2,
 			Peers: []replica.PeerStatus{{Addr: "fuzz:2", Epoch: 1, Version: 2, Acked: true}}}},
+		// Pub/sub messages: populated seeds so mutations reach the
+		// event-batch and payload surface.
+		pubsub.SubscribeReq{Topic: grid.NotifyTopic("fuzz:1", 1), Sub: "fuzz:1"},
+		pubsub.SubscribeResp{Epoch: 3},
+		pubsub.UnsubscribeReq{Topic: grid.NotifyTopic("fuzz:1", 1), Sub: "fuzz:1"},
+		pubsub.PublishReq{Topic: grid.NotifyTopic("fuzz:1", 1), From: "fuzz:2",
+			Payloads: [][]byte{grid.EncodeJobUpdate(grid.JobUpdate{
+				JobID: grid.JobGUID("fuzz:1", 1, 0), Kind: "matched", Node: "fuzz:3", From: "fuzz:2", At: 5e9,
+			})}},
+		pubsub.PublishResp{Seq: 9},
+		pubsub.NotifyReq{Topic: grid.NotifyTopic("fuzz:1", 1), Epoch: 2, From: "fuzz:2",
+			Events: []pubsub.Event{{Seq: 8, Payload: []byte{1}}, {Seq: 9, Payload: []byte{2, 3}}}},
+		pubsub.NotifyResp{AckUpTo: 9},
+		pubsub.AckReq{Topic: grid.NotifyTopic("fuzz:1", 1), Sub: "fuzz:1", Epoch: 2, UpTo: 9},
+		pubsub.ResolveReq{Topic: grid.NotifyTopic("fuzz:1", 1)},
+		pubsub.ResolveResp{Addr: "fuzz:4"},
 	} {
 		f.Add(encode(f, msg))
 	}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/chord"
 	"repro/internal/grid"
 	"repro/internal/match"
+	"repro/internal/pubsub"
 	"repro/internal/replica"
 	"repro/internal/rntree"
 )
@@ -61,6 +62,13 @@ func Messages() []any {
 		replica.ProbeReq{}, replica.ProbeResp{},
 		// match
 		match.ProbeReq{}, match.ProbeResp{},
+		// pubsub
+		pubsub.SubscribeReq{}, pubsub.SubscribeResp{},
+		pubsub.UnsubscribeReq{}, pubsub.UnsubscribeResp{},
+		pubsub.PublishReq{}, pubsub.PublishResp{},
+		pubsub.NotifyReq{}, pubsub.NotifyResp{},
+		pubsub.AckReq{}, pubsub.AckResp{},
+		pubsub.ResolveReq{}, pubsub.ResolveResp{},
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/obs"
+	"repro/internal/pubsub"
 	"repro/internal/replica"
 	"repro/internal/resource"
 	"repro/internal/rntree"
@@ -179,6 +180,34 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 			{Peer: "s:1", State: "open", ConsecFails: 5, Failures: 9, Successes: 3, Opens: 1, RetryIn: 2 * time.Second},
 			{Peer: "s:2", State: "closed", Successes: 40},
 		}},
+		// Pub/sub notification overlay (DESIGN.md §13).
+		pubsub.SubscribeReq{Topic: grid.NotifyTopic("c:1", 3), Sub: "c:1"},
+		pubsub.SubscribeResp{Epoch: 2},
+		pubsub.UnsubscribeReq{Topic: grid.NotifyTopic("c:1", 3), Sub: "c:1"},
+		pubsub.PublishReq{
+			Topic: grid.NotifyTopic("c:1", 3), From: "o:1",
+			Payloads: [][]byte{
+				grid.EncodeJobUpdate(grid.JobUpdate{
+					JobID: grid.JobGUID("c:1", 3, 0), Kind: "owned", Node: "o:1", From: "o:1", At: 2e9,
+				}),
+				grid.EncodeJobUpdate(grid.JobUpdate{
+					JobID: grid.JobGUID("c:1", 3, 1), Attempt: 1, Kind: "checkpointed",
+					Node: "r:2", From: "o:1", At: 9e9, Progress: 4e9,
+				}),
+			},
+		},
+		pubsub.PublishResp{Seq: 17},
+		pubsub.NotifyReq{
+			Topic: grid.NotifyTopic("c:1", 3), Epoch: 1, From: "o:1",
+			Events: []pubsub.Event{
+				{Seq: 4, Payload: []byte{1, 2, 3}},
+				{Seq: 5, Payload: []byte{4}},
+			},
+		},
+		pubsub.NotifyResp{AckUpTo: 5},
+		pubsub.AckReq{Topic: grid.NotifyTopic("c:1", 3), Sub: "c:1", Epoch: 1, UpTo: 5},
+		pubsub.ResolveReq{Topic: grid.NotifyTopic("c:1", 3)},
+		pubsub.ResolveResp{Addr: "rdv:1"},
 	}
 	for _, msg := range cases {
 		got, err := RoundTrip(msg)
