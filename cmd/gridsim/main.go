@@ -5,6 +5,7 @@
 //
 //	gridsim -exp fig2a            # one experiment at default scale
 //	gridsim -exp all -scale 1     # full paper scale (1000 nodes, slow)
+//	gridsim -exp simbench         # kernel throughput ladder -> JSON
 //	gridsim -list                 # list experiment identifiers
 //
 // Experiments: fig2a fig2b (clustered avg/stdev), fig2c fig2d (mixed),
@@ -14,16 +15,28 @@
 // trustsweep (sabotage tolerance: replication/quorum/reputation),
 // replsweep (owner-state replication degree under owner+run double
 // crashes), notifsweep (pub/sub push notifications vs status polling),
+// simbench (kernel throughput ladder, writes BENCH_sim.json),
 // ablate-virtualdim, ablate-k, ablate-fair, all.
+//
+// Observability (DESIGN.md §14): -simstats prints the simulation
+// kernel's event/switch/wall-clock report after every run,
+// -switch-trace dumps the context-switch interleaving to a file, and
+// -profile cpu,heap captures pprof profiles around the whole run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -41,12 +54,21 @@ func main() {
 	verbose := flag.Bool("v", false, "progress output")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	list := flag.Bool("list", false, "list experiment identifiers")
+
+	simstats := flag.Bool("simstats", false, "print the sim kernel's stats report after every run")
+	switchTrace := flag.String("switch-trace", "", "write the kernel's context-switch trace to this file")
+	profile := flag.String("profile", "", "comma-separated pprof profiles to capture: cpu,heap")
+	profileDir := flag.String("profile-dir", ".", "directory for pprof output files")
+
+	benchOut := flag.String("bench-out", "", "simbench: write the JSON result here (default stdout only)")
+	runfile := flag.String("runfile", "", "simbench: declarative ladder runfile (keys: scales, grow, budget, alg, maintenance)")
 	flag.Parse()
 
 	if *list {
 		for _, id := range experimentOrder {
 			fmt.Println(id)
 		}
+		fmt.Println("simbench")
 		return
 	}
 	if *exp == "" {
@@ -61,6 +83,47 @@ func main() {
 		}
 	}
 
+	// Kernel observability: stats report sink and switch-trace file.
+	ins := &experiments.Instrument{}
+	if *simstats {
+		ins.Stats = true
+		ins.OnStats = func(label string, st *sim.Stats) {
+			fmt.Fprintf(os.Stderr, "# simstats [%s]\n%s", label, indent(st.Report(), "# "))
+		}
+	}
+	if *switchTrace != "" {
+		f, err := os.Create(*switchTrace)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: -switch-trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		ins.Trace = func(format string, args ...any) {
+			fmt.Fprintf(f, format+"\n", args...)
+		}
+	}
+	if ins.Stats || ins.Trace != nil {
+		o.Instrument = ins
+	}
+
+	// pprof capture brackets the whole run (all requested experiments),
+	// so one profile answers "where does the suite burn its time".
+	stopProfiles, err := startProfiles(*profile, *profileDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
+
+	if *exp == "simbench" {
+		if err := runSimBench(o, *runfile, *benchOut, *csv); err != nil {
+			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			stopProfiles()
+			os.Exit(1)
+		}
+		return
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experimentOrder
@@ -70,6 +133,7 @@ func main() {
 		tbl, err := run(id, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "gridsim: %v\n", err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		if *csv {
@@ -81,6 +145,101 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "# total wall time %v\n", time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// runSimBench drives the kernel throughput ladder and writes the
+// BENCH_sim.json payload.
+func runSimBench(o experiments.Options, runfile, out string, csv bool) error {
+	cfg := experiments.DefaultSimBench()
+	if runfile != "" {
+		data, err := os.ReadFile(runfile)
+		if err != nil {
+			return err
+		}
+		if cfg, err = experiments.ParseRunfile(string(data)); err != nil {
+			return err
+		}
+	}
+	res, tbl := experiments.SimBench(cfg, o)
+	if csv {
+		fmt.Print(tbl.CSV())
+	} else {
+		fmt.Println(tbl.Format())
+	}
+	if out != "" {
+		blob, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "# wrote %s (%d rungs)\n", out, len(res.Rungs))
+	}
+	return nil
+}
+
+// startProfiles arms the requested pprof captures; the returned stop
+// function is idempotent and safe on the error paths.
+func startProfiles(kinds, dir string) (func(), error) {
+	if kinds == "" {
+		return func() {}, nil
+	}
+	var cpu *os.File
+	heapPath := ""
+	for _, kind := range strings.Split(kinds, ",") {
+		switch strings.TrimSpace(kind) {
+		case "cpu":
+			f, err := os.Create(filepath.Join(dir, "cpu.pprof"))
+			if err != nil {
+				return func() {}, err
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				f.Close()
+				return func() {}, err
+			}
+			cpu = f
+		case "heap":
+			heapPath = filepath.Join(dir, "heap.pprof")
+		case "":
+		default:
+			return func() {}, fmt.Errorf("-profile: unknown kind %q (want cpu,heap)", kind)
+		}
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", cpu.Name())
+		}
+		if heapPath != "" {
+			f, err := os.Create(heapPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "gridsim: heap profile: %v\n", err)
+				return
+			}
+			runtime.GC() // up-to-date allocation stats
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "gridsim: heap profile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "# wrote %s\n", heapPath)
+		}
+	}, nil
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n") + "\n"
 }
 
 // run dispatches one experiment id to its driver. The fig2 panels share

@@ -63,7 +63,7 @@ func CkptSweep(o Options) *Table {
 			wcfg.JobPop = workload.Mixed
 			wcfg.Level = workload.Lightly
 			o.logf("ckptsweep level=%s policy=%s", lvl.name, pol.name)
-			res := Build(Scenario{
+			res := o.Build(Scenario{
 				Alg:         AlgRNTree,
 				Workload:    wcfg,
 				Grid:        pol.cfg,

@@ -28,6 +28,56 @@ type Options struct {
 	Seed int64
 	// Verbose receives progress lines (may be nil).
 	Verbose func(format string, args ...any)
+	// Instrument, if non-nil, attaches kernel-level observability to
+	// every engine the drivers create (gridsim's -simstats,
+	// -switch-trace, and the simbench harness ride on it).
+	Instrument *Instrument
+}
+
+// Instrument configures simulation-kernel observability for a run. It
+// is deliberately outside Scenario's protocol knobs: instrumentation
+// must never change what the simulation does, only what is recorded
+// about it (sim.Stats is replay-neutral by construction).
+type Instrument struct {
+	// Stats enables the kernel's event/switch/wall-clock collector.
+	Stats bool
+	// Trace, if non-nil, receives the engine's context-switch trace
+	// (one line per proc start/park/wake/exit).
+	Trace func(format string, args ...any)
+	// OnStats is called after each instrumented run with a short label
+	// and the engine's collector (requires Stats).
+	OnStats func(label string, st *sim.Stats)
+}
+
+// Build wires o's instrumentation into the scenario and builds it.
+// Drivers use this instead of the package-level Build so every
+// experiment honours gridsim's -simstats / -switch-trace flags.
+func (o Options) Build(s Scenario) *Deployment {
+	s.Instrument = o.Instrument
+	return Build(s)
+}
+
+// engine creates a bare engine (for drivers that bypass Build, like
+// the DHT study) with o's instrumentation applied.
+func (o Options) engine(seed int64) *sim.Engine {
+	e := sim.NewEngine(seed)
+	if ins := o.Instrument; ins != nil {
+		if ins.Stats {
+			e.EnableStats()
+		}
+		if ins.Trace != nil {
+			e.Trace = ins.Trace
+		}
+	}
+	return e
+}
+
+// reportStats flushes an instrumented engine's collector to the
+// OnStats sink, if both halves are configured.
+func (o Options) reportStats(label string, e *sim.Engine) {
+	if ins := o.Instrument; ins != nil && ins.OnStats != nil && e.Stats() != nil {
+		ins.OnStats(label, e.Stats())
+	}
 }
 
 func (o Options) logf(format string, args ...any) {
@@ -79,7 +129,7 @@ func Fig2(pop workload.Population, o Options) ([]Fig2Row, *Table) {
 			wcfg.JobPop = pop
 			wcfg.Level = level
 			o.logf("fig2 %s/%s/%s: %d nodes, %d jobs", pop, level, alg, wcfg.Nodes, wcfg.Jobs)
-			res := Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: o.Seed + 77}).Run()
+			res := o.Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: o.Seed + 77}).Run()
 			rows = append(rows, Fig2Row{Level: level, Alg: alg, WaitMean: res.Wait.Mean, WaitStd: res.Wait.Std, Results: res})
 			tbl.Rows = append(tbl.Rows, []string{
 				level.String(), alg.String(),
@@ -111,7 +161,7 @@ func MatchCost(o Options) *Table {
 				wcfg.JobPop = pop
 				wcfg.Level = level
 				o.logf("tab1 %s/%s/%s", pop, level, alg)
-				res := Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: o.Seed + 78}).Run()
+				res := o.Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: o.Seed + 78}).Run()
 				tbl.Rows = append(tbl.Rows, []string{
 					pop.String(), level.String(), alg.String(),
 					fmtF(res.MatchCost.Mean), fmtF(res.MatchCost.P95),
@@ -140,7 +190,7 @@ func CANPush(o Options) *Table {
 		wcfg.JobPop = workload.Mixed
 		wcfg.Level = workload.Lightly
 		o.logf("tab2 %s", alg)
-		res := Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: o.Seed + 79}).Run()
+		res := o.Build(Scenario{Alg: alg, Workload: wcfg, NetSeed: o.Seed + 79}).Run()
 		tbl.Rows = append(tbl.Rows, []string{
 			alg.String(), fmtF(res.Wait.Mean), fmtF(res.Wait.Std),
 			fmt.Sprintf("%.2f", res.ImbalanceCV), fmtF(res.MatchCost.Mean),
@@ -185,7 +235,7 @@ func DHTBehavior(sizes []int, o Options) ([]DHTRow, *Table) {
 
 		// Chord: warm-start, measure lookups, then maintenance traffic.
 		{
-			e := sim.NewEngine(o.Seed + 5)
+			e := o.engine(o.Seed + 5)
 			net := simnet.New(e)
 			hosts := make([]*simhost.Host, n)
 			nodes := make([]*chord.Node, n)
@@ -221,11 +271,12 @@ func DHTBehavior(sizes []int, o Options) ([]DHTRow, *Table) {
 			e.RunFor(window)
 			row.ChordMsgs = net.Stats.Messages - before
 			e.Shutdown()
+			o.reportStats(fmt.Sprintf("tab3 chord N=%d", n), e)
 		}
 
 		// CAN: warm-start, measure routes, then gossip traffic.
 		{
-			e := sim.NewEngine(o.Seed + 6)
+			e := o.engine(o.Seed + 6)
 			net := simnet.New(e)
 			hosts := make([]*simhost.Host, n)
 			nodes := make([]*can.Node, n)
@@ -265,6 +316,7 @@ func DHTBehavior(sizes []int, o Options) ([]DHTRow, *Table) {
 			e.RunFor(window)
 			row.CANMsgs = net.Stats.Messages - before
 			e.Shutdown()
+			o.reportStats(fmt.Sprintf("tab3 can N=%d", n), e)
 		}
 
 		rows = append(rows, row)
@@ -310,7 +362,7 @@ func Robustness(churns []float64, o Options) *Table {
 		wcfg.JobPop = workload.Mixed
 		wcfg.Level = workload.Lightly
 		o.logf("tab4 churn=%.2f", churn)
-		res := Build(Scenario{
+		res := o.Build(Scenario{
 			Alg:         AlgRNTree,
 			Workload:    wcfg,
 			NetSeed:     o.Seed + 80,
@@ -362,7 +414,7 @@ func TTLFailure(o Options) *Table {
 		wcfg.NodePop = workload.Mixed
 		wcfg.JobPop = workload.Mixed
 		o.logf("tab5 %s", alg)
-		d := Build(Scenario{
+		d := o.Build(Scenario{
 			Alg:            alg,
 			Workload:       wcfg,
 			NetSeed:        o.Seed + 81,
@@ -397,7 +449,7 @@ func VirtualDimAblation(o Options) *Table {
 		wcfg.JobPop = workload.Clustered
 		wcfg.Level = workload.Lightly
 		o.logf("ablation virtualdim disable=%v", disable)
-		res := Build(Scenario{
+		res := o.Build(Scenario{
 			Alg:               AlgCAN,
 			Workload:          wcfg,
 			NetSeed:           o.Seed + 82,
@@ -430,7 +482,7 @@ func ExtendedSearchAblation(o Options) *Table {
 		wcfg.JobPop = workload.Mixed
 		wcfg.Level = workload.Heavily
 		o.logf("ablation k=%d", k)
-		res := Build(Scenario{
+		res := o.Build(Scenario{
 			Alg:             AlgRNTree,
 			Workload:        wcfg,
 			NetSeed:         o.Seed + 83,
@@ -464,7 +516,7 @@ func FairnessAblation(o Options) *Table {
 		wcfg.JobPop = workload.Mixed
 		wcfg.Level = workload.Heavily
 		o.logf("ablate-fair fair=%v", fair)
-		d := Build(Scenario{
+		d := o.Build(Scenario{
 			Alg:      AlgRNTree,
 			Workload: wcfg,
 			NetSeed:  o.Seed + 84,

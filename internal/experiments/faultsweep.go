@@ -74,7 +74,7 @@ func FaultSweep(o Options) *Table {
 		wcfg.JobPop = workload.Mixed
 		wcfg.Level = workload.Lightly
 		o.logf("faultsweep level=%s", lvl.name)
-		res := Build(Scenario{
+		res := o.Build(Scenario{
 			Alg:         AlgRNTree,
 			Workload:    wcfg,
 			NetSeed:     o.Seed + 90,

@@ -55,7 +55,7 @@ func NotifRun(o Options, clients int, notify bool) Results {
 	wcfg.Jobs = wcfg.Jobs / 5
 	wcfg.Clients = clients
 	wcfg.MeanRuntime = 10 * time.Second
-	return Build(Scenario{
+	return o.Build(Scenario{
 		Alg:                  AlgCentral,
 		Workload:             wcfg,
 		Grid:                 notifGridCfg(),

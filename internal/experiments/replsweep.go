@@ -61,7 +61,7 @@ func ReplSweep(o Options) *Table {
 		var lost, reexec, turn float64
 		for r := 0; r < repeats; r++ {
 			o.logf("replsweep k=%d schedule %d/%d", k, r+1, repeats)
-			res := Build(Scenario{
+			res := o.Build(Scenario{
 				Alg:         AlgRNTree,
 				Workload:    wcfg,
 				Grid:        grid.Config{ReplicaK: k},

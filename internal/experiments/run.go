@@ -196,6 +196,9 @@ func (d *Deployment) Run() Results {
 	}
 	res := d.results()
 	d.Engine.Shutdown()
+	if ins := s.Instrument; ins != nil && ins.OnStats != nil && d.Engine.Stats() != nil {
+		ins.OnStats(fmt.Sprintf("%s nodes=%d jobs=%d", s.Alg, res.Nodes, res.Jobs), d.Engine.Stats())
+	}
 	return res
 }
 

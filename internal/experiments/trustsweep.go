@@ -73,7 +73,7 @@ func TrustSweep(o Options) *Table {
 			if frac > 0 {
 				s.Sabotage = &faultinject.ByzPlan{Fraction: frac, WrongProb: 0.7, WithholdProb: 0.1}
 			}
-			res := Build(s).Run()
+			res := o.Build(s).Run()
 			redundant := res.ExecutedWork - res.UsefulWork
 			if redundant < 0 {
 				redundant = 0

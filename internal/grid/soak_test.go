@@ -90,9 +90,20 @@ func runSoak(t *testing.T, seed int64) []string {
 }
 
 func runSoakCfg(t *testing.T, seed int64, cfg grid.Config) []string {
+	return runSoakPrep(t, seed, cfg, nil)
+}
+
+// runSoakPrep is runSoakCfg with a hook that runs against the fresh
+// cluster before anything is scheduled — the stats-neutrality soak uses
+// it to flip kernel instrumentation on without otherwise touching the
+// run.
+func runSoakPrep(t *testing.T, seed int64, cfg grid.Config, prep func(c *cluster)) []string {
 	t.Helper()
 	c := newCluster(t, soakNodes, seed, cfg, uniform)
 	defer c.e.Shutdown()
+	if prep != nil {
+		prep(c)
+	}
 	c.nodes[soakClient].StartClientMonitor(15 * time.Second)
 
 	// Submit everything on a clean network, then arm the schedule: the

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkScheduleFire measures the pure event path — schedule, heap
+// push/pop, fire — with no proc involvement: the floor for everything
+// the kernel does.
+func BenchmarkScheduleFire(b *testing.B) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Millisecond, tick)
+		}
+	}
+	e.Schedule(time.Millisecond, tick)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcPingPong measures the engine<->proc context-switch cost:
+// each round trip is two wakes (and two parks) through real goroutine
+// handoffs — the overhead an event-callback fast path would eliminate.
+func BenchmarkProcPingPong(b *testing.B) {
+	e := NewEngine(1)
+	ping, pong := NewChan[int](e), NewChan[int](e)
+	e.Spawn("ping", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Send(i)
+			pong.Recv(p)
+		}
+	})
+	e.Spawn("pong", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			ping.Recv(p)
+			pong.Send(i)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkHeapPushPopDepth measures one schedule+fire while the event
+// heap holds ~10k pending timers — the regime a 10k-node simulation
+// lives in, where heap depth sets the per-event log factor.
+func BenchmarkHeapPushPopDepth(b *testing.B) {
+	e := NewEngine(1)
+	for i := 0; i < 10_000; i++ {
+		e.Schedule(time.Hour+time.Duration(i)*time.Second, func() {})
+	}
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(time.Microsecond, tick)
+		} else {
+			// Stop instead of draining: the 10k-deep backlog must stay in
+			// the heap for the whole measurement.
+			e.Stop()
+		}
+	}
+	e.Schedule(time.Microsecond, tick)
+	b.ResetTimer()
+	e.Run()
+	b.StopTimer()
+	e.Shutdown()
+}

@@ -45,9 +45,15 @@ func (c *Chan[T]) kick() {
 		for len(c.buf) > 0 && len(c.waiters) > 0 {
 			w := c.waiters[0]
 			c.waiters = c.waiters[1:]
+			// Pop before delivering: the woken proc runs inside deliver and
+			// may re-enter Recv/TryRecv, so the value must already be out of
+			// the buffer or it would be taken twice.
 			v := c.buf[0]
-			if w.p.deliver(wake{gen: w.gen, val: v}) {
-				c.buf = c.buf[1:]
+			c.buf = c.buf[1:]
+			if !w.p.deliver(wake{gen: w.gen, val: v}) {
+				// Stale waiter: the value goes back to the head for the next
+				// match.
+				c.buf = append([]T{v}, c.buf...)
 			}
 		}
 	})

@@ -39,10 +39,26 @@ type Event struct {
 	fire    func()
 	stopped bool
 	index   int // heap index, -1 once popped
+	eng     *Engine
+	tag     string // attribution tag (see Engine.Tagged)
 }
 
-// Stop cancels the event. It is safe to call after the event has fired.
-func (ev *Event) Stop() { ev.stopped = true }
+// Stop cancels the event. It is safe to call after the event has fired
+// and idempotent on an already-stopped event.
+func (ev *Event) Stop() {
+	if ev.stopped {
+		return
+	}
+	ev.stopped = true
+	if ev.index >= 0 && ev.eng != nil {
+		// Still in the heap: it will be skipped at pop, so it leaves the
+		// pending population now.
+		ev.eng.pending--
+		if st := ev.eng.stats; st != nil {
+			st.EventsStopped++
+		}
+	}
+}
 
 // Engine is a discrete-event simulation driver. Create one with
 // NewEngine; it is not safe for concurrent use from multiple OS threads
@@ -51,12 +67,20 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
+	pending int           // uncancelled events in the heap (O(1) Pending)
 	ctl     chan struct{} // proc -> engine: "I yielded"
 	rng     *rand.Rand
 	procs   map[*Proc]struct{}
 	procSeq uint64
 	stopped bool
 	failure any // panic value escaped from a proc
+
+	// curTag is the attribution tag inherited by Schedule: the tag of
+	// the currently-firing event, or whatever Tagged installed. Tags are
+	// always tracked (a string copy per event) so enabling stats cannot
+	// perturb anything; only the counting is gated on stats.
+	curTag string
+	stats  *Stats // nil until EnableStats
 
 	// Trace, if non-nil, receives a line per context switch; useful when
 	// debugging protocol interleavings.
@@ -86,27 +110,52 @@ func (e *Engine) NewRand() *rand.Rand {
 }
 
 // Schedule registers fn to run in engine context (it must not block) at
-// time now+d. Negative d is treated as zero.
+// time now+d. Negative d is treated as zero. The event inherits the
+// current attribution tag (see Tagged).
 func (e *Engine) Schedule(d time.Duration, fn func()) *Event {
 	if d < 0 {
 		d = 0
 	}
-	ev := &Event{at: e.now.Add(d), seq: e.seq, fire: fn}
+	ev := &Event{at: e.now.Add(d), seq: e.seq, fire: fn, eng: e, tag: e.curTag}
 	e.seq++
+	e.pending++
 	heap.Push(&e.queue, ev)
+	if st := e.stats; st != nil {
+		st.EventsScheduled++
+		if len(e.queue) > st.PeakQueue {
+			st.PeakQueue = len(e.queue)
+		}
+		st.tag(ev.tag).Scheduled++
+	}
 	return ev
 }
 
-// Pending returns the number of scheduled (uncancelled) events.
-func (e *Engine) Pending() int {
-	n := 0
-	for _, ev := range e.queue {
-		if !ev.stopped {
-			n++
-		}
-	}
-	return n
+// Pending returns the number of scheduled (uncancelled) events. It is
+// O(1): the engine maintains the count on Schedule, Stop, and pop, so
+// hot loops may poll it freely.
+func (e *Engine) Pending() int { return e.pending }
+
+// Tagged runs fn with the given attribution tag installed, restoring
+// the previous tag afterwards. Events scheduled inside fn — and,
+// transitively, events scheduled while those events fire — are
+// attributed to tag in the kernel stats. Tagging is always active so
+// the virtual timeline is identical with stats on or off.
+func (e *Engine) Tagged(tag string, fn func()) {
+	prev := e.curTag
+	e.curTag = tag
+	fn()
+	e.curTag = prev
 }
+
+// EnableStats attaches a fresh kernel stats collector and returns it.
+// Call before running; the collector is cumulative across Run calls.
+func (e *Engine) EnableStats() *Stats {
+	e.stats = &Stats{ByTag: make(map[string]*TagStats)}
+	return e.stats
+}
+
+// Stats returns the collector enabled by EnableStats, or nil.
+func (e *Engine) Stats() *Stats { return e.stats }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -115,13 +164,15 @@ func (e *Engine) Stop() { e.stopped = true }
 // with the original value if any Proc panicked.
 func (e *Engine) Run() {
 	e.stopped = false
+	defer e.measure()()
 	for e.queue.Len() > 0 && !e.stopped {
 		ev := heap.Pop(&e.queue).(*Event)
 		if ev.stopped {
 			continue
 		}
+		e.pending--
 		e.now = ev.at
-		ev.fire()
+		e.fireEvent(ev)
 		e.checkFailure()
 	}
 }
@@ -130,6 +181,7 @@ func (e *Engine) Run() {
 // clock to deadline (if it advanced that far).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	defer e.measure()()
 	for e.queue.Len() > 0 && !e.stopped {
 		ev := e.queue[0]
 		if ev.at > deadline {
@@ -140,12 +192,44 @@ func (e *Engine) RunUntil(deadline Time) {
 		if ev.stopped {
 			continue
 		}
+		e.pending--
 		e.now = ev.at
-		ev.fire()
+		e.fireEvent(ev)
 		e.checkFailure()
 	}
 	if e.now < deadline && e.queue.Len() == 0 {
 		e.now = deadline
+	}
+}
+
+// fireEvent runs one popped event under its attribution tag, counting
+// it (and its wall cost) when stats are enabled.
+func (e *Engine) fireEvent(ev *Event) {
+	e.curTag = ev.tag
+	st := e.stats
+	if st == nil {
+		ev.fire()
+		return
+	}
+	st.EventsFired++
+	t0 := time.Now()
+	ev.fire()
+	ts := st.tag(ev.tag)
+	ts.Fired++
+	ts.WallNS += time.Since(t0).Nanoseconds()
+}
+
+// measure opens a wall/virtual-clock accounting window over one run
+// loop; the returned closure closes it. A no-op without stats.
+func (e *Engine) measure() func() {
+	st := e.stats
+	if st == nil {
+		return func() {}
+	}
+	t0, v0 := time.Now(), e.now
+	return func() {
+		st.WallNS += time.Since(t0).Nanoseconds()
+		st.VirtNS += int64(e.now - v0)
 	}
 }
 

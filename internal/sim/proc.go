@@ -58,12 +58,20 @@ func (e *Engine) SpawnAfter(d time.Duration, name string, fn func(p *Proc)) *Pro
 		rng:   e.NewRand(),
 	}
 	e.procs[p] = struct{}{}
+	if st := e.stats; st != nil && len(e.procs) > st.PeakProcs {
+		st.PeakProcs = len(e.procs)
+	}
 	p.spawnEv = e.Schedule(d, func() {
 		if p.state != pStart {
 			return
 		}
 		p.state = pActive
 		e.tracef("%v start %s", e.now, p.name)
+		if st := e.stats; st != nil {
+			st.Spawns++
+			st.Switches++
+			st.tag(e.curTag).Switches++
+		}
 		go p.run(fn)
 		<-e.ctl
 	})
@@ -121,6 +129,7 @@ func (p *Proc) nextGen() uint64 {
 // with killedSignal if the proc was killed.
 func (p *Proc) park() wake {
 	p.state = pParked
+	p.e.tracef("%v park %s", p.e.now, p.name)
 	p.e.ctl <- struct{}{}
 	w := <-p.wakes
 	if w.killed {
@@ -134,9 +143,18 @@ func (p *Proc) park() wake {
 // the wake was accepted (false if stale or the proc is gone).
 func (p *Proc) deliver(w wake) bool {
 	if p.state != pParked || (!w.killed && w.gen != p.gen) {
+		if st := p.e.stats; st != nil {
+			st.StaleWakes++
+		}
 		return false
 	}
 	p.state = pActive
+	p.e.tracef("%v wake %s", p.e.now, p.name)
+	if st := p.e.stats; st != nil {
+		st.Switches++
+		st.Wakes++
+		st.tag(p.e.curTag).Switches++
+	}
 	p.wakes <- w
 	<-p.e.ctl
 	return true
@@ -167,6 +185,9 @@ func (p *Proc) Kill() {
 		return
 	}
 	p.killed = true
+	if st := p.e.stats; st != nil {
+		st.Kills++
+	}
 	switch p.state {
 	case pStart:
 		p.spawnEv.Stop()

@@ -193,10 +193,15 @@ func (ep *Endpoint) Handle(method string, h Handler) {
 }
 
 // Go spawns a proc owned by this endpoint; it is killed when the
-// endpoint crashes. Use it for all node-resident activities.
+// endpoint crashes. Use it for all node-resident activities. The
+// proc's spawn — and, by tag inheritance, everything it schedules —
+// is attributed to the subsystem its name classifies into.
 func (ep *Endpoint) Go(name string, fn func(p *sim.Proc)) *sim.Proc {
 	ep.seq++
-	p := ep.net.Engine.Spawn(fmt.Sprintf("%s/%s#%d", ep.addr, name, ep.seq), fn)
+	var p *sim.Proc
+	ep.net.Engine.Tagged(LayerOf(name), func() {
+		p = ep.net.Engine.Spawn(fmt.Sprintf("%s/%s#%d", ep.addr, name, ep.seq), fn)
+	})
 	ep.procs[p] = struct{}{}
 	p.OnKilled = func() { delete(ep.procs, p) }
 	return p
@@ -248,21 +253,25 @@ func (ep *Endpoint) CallT(p *sim.Proc, to Addr, method string, req any, timeout 
 		if target == nil || !target.up {
 			if n.RefuseWhenDown {
 				n.Stats.Refused++
-				n.Engine.Schedule(oneWay, func() {
-					reply.Send(rpcResult{err: ErrUnreachable})
+				n.Engine.Tagged(LayerOf(method), func() {
+					n.Engine.Schedule(oneWay, func() {
+						reply.Send(rpcResult{err: ErrUnreachable})
+					})
 				})
 			}
 		} else {
-			n.Engine.Schedule(oneWay+fault.Delay, func() {
-				n.deliver(ep.addr, to, method, req, reply)
-			})
-			if fault.Duplicate {
-				// The copy takes its own (later) path through the network.
-				dupWay := oneWay + fault.Delay + n.Latency.Delay(n.rng, ep.addr, to)
-				n.Engine.Schedule(dupWay, func() {
+			n.Engine.Tagged(LayerOf(method), func() {
+				n.Engine.Schedule(oneWay+fault.Delay, func() {
 					n.deliver(ep.addr, to, method, req, reply)
 				})
-			}
+				if fault.Duplicate {
+					// The copy takes its own (later) path through the network.
+					dupWay := oneWay + fault.Delay + n.Latency.Delay(n.rng, ep.addr, to)
+					n.Engine.Schedule(dupWay, func() {
+						n.deliver(ep.addr, to, method, req, reply)
+					})
+				}
+			})
 		}
 	}
 
@@ -317,12 +326,14 @@ func (n *Net) respond(from, to Addr, method string, reply *sim.Chan[rpcResult], 
 		n.Stats.Messages++
 		reply.Send(res)
 	}
-	n.Engine.Schedule(oneWay, send)
-	if fault.Duplicate {
-		// A duplicate reply is buffered and ignored by the caller, which
-		// has already moved on — still worth modelling for stats.
-		n.Engine.Schedule(oneWay+n.Latency.Delay(n.rng, from, to), send)
-	}
+	n.Engine.Tagged(LayerOf(method), func() {
+		n.Engine.Schedule(oneWay, send)
+		if fault.Duplicate {
+			// A duplicate reply is buffered and ignored by the caller, which
+			// has already moved on — still worth modelling for stats.
+			n.Engine.Schedule(oneWay+n.Latency.Delay(n.rng, from, to), send)
+		}
+	})
 }
 
 // fate consults the fault injector, if any.

@@ -102,10 +102,11 @@ func NewConfig() Config {
 	}
 }
 
-// Scale shrinks a config by factor f in (0,1], preserving the offered
-// load (jobs-per-node and arrival rate scale together).
+// Scale resizes a config by factor f > 0 — shrinking (f < 1) for quick
+// CI runs or growing (f > 1) for scale benchmarks — preserving the
+// offered load (jobs-per-node and arrival rate scale together).
 func (c Config) Scale(f float64) Config {
-	if f <= 0 || f > 1 {
+	if f <= 0 || f == 1 {
 		return c
 	}
 	c.Nodes = max(2, int(float64(c.Nodes)*f))

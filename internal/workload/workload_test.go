@@ -174,8 +174,15 @@ func TestScalePreservesLoad(t *testing.T) {
 	if c := full.Scale(0.0001); c.Nodes < 2 || c.Jobs < 1 {
 		t.Fatalf("degenerate scale: %+v", c)
 	}
-	if c := full.Scale(5); c.Nodes != full.Nodes {
-		t.Fatal("scale > 1 must be identity")
+	// Growth rungs (scale benchmarks) resize past paper scale while
+	// preserving the offered load.
+	grown := full.Scale(2)
+	if grown.Nodes != 2000 || grown.Jobs != 10000 {
+		t.Fatalf("grew to %d nodes / %d jobs", grown.Nodes, grown.Jobs)
+	}
+	lg := Generate(grown).OfferedLoad()
+	if math.Abs(lf-lg) > 0.25*lf {
+		t.Fatalf("offered load drifted on growth: full %.2f grown %.2f", lf, lg)
 	}
 }
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Simulation-kernel benchmark: run the gridsim simbench ladder — a
+# declarative series of workload scales — and record per-rung kernel
+# throughput (events/sec, wall-per-sim-second, switches/event, peak
+# heap/procs) with per-layer attribution in BENCH_sim.json. This is the
+# measurement half of the 10k-node scale roadmap item: the baseline a
+# scale refactor must beat, and the layer ranking that says where to
+# aim it.
+#
+# Environment knobs:
+#   BENCH_RUNFILE  ladder runfile (default scripts/sim_bench.runfile;
+#                  keys: scales, grow, budget, alg, maintenance)
+#   BENCH_SCALES   override the runfile's scales (comma-separated)
+#   BENCH_BUDGET   override the runfile's per-rung wall budget
+#   BENCH_OUT      output path (default BENCH_sim.json)
+#   BENCH_SEED     gridsim seed (default 1)
+#   BENCH_ASSERT   when 1, fail unless the first rung clears a lax
+#                  events/sec floor (CI smoke; the checked-in
+#                  BENCH_sim.json records the real local numbers)
+#   BENCH_FLOOR    that floor (default 5000 events/sec)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+RUNFILE=${BENCH_RUNFILE:-scripts/sim_bench.runfile}
+OUT=${BENCH_OUT:-BENCH_sim.json}
+SEED=${BENCH_SEED:-1}
+ASSERT=${BENCH_ASSERT:-0}
+FLOOR=${BENCH_FLOOR:-5000}
+
+workdir=$(mktemp -d)
+cleanup() { rm -rf "$workdir"; }
+trap cleanup EXIT
+
+# Scale/budget overrides rewrite a copy of the runfile so one checked-in
+# ladder serves both CI smoke (one tiny rung) and the full local run.
+runfile=$RUNFILE
+if [ -n "${BENCH_SCALES:-}" ] || [ -n "${BENCH_BUDGET:-}" ]; then
+  grep -v -e '^scales' -e '^budget' "$RUNFILE" >"$workdir/runfile"
+  [ -n "${BENCH_SCALES:-}" ] && echo "scales = $BENCH_SCALES" >>"$workdir/runfile"
+  [ -n "${BENCH_BUDGET:-}" ] && echo "budget = $BENCH_BUDGET" >>"$workdir/runfile"
+  runfile=$workdir/runfile
+fi
+
+go build -o "$workdir/gridsim" ./cmd/gridsim
+"$workdir/gridsim" -exp simbench -runfile "$runfile" -seed "$SEED" \
+  -bench-out "$OUT" -v
+
+extract_first() { # extract_first <json-number-field>
+  grep -o "\"$1\": *[0-9.eE+-]*" "$OUT" | head -1 | sed 's/.*: *//'
+}
+rungs=$(grep -c '"scale":' "$OUT")
+eps=$(extract_first events_per_sec)
+echo "sim_bench: $rungs rungs in $OUT; first rung at $eps events/sec" >&2
+
+if [ "$ASSERT" = 1 ]; then
+  # Flake-tolerant CI gate: the kernel must push a few thousand events
+  # per second even on cramped shared runners (local runs do >100k).
+  ok=$(awk -v a="$eps" -v b="$FLOOR" 'BEGIN { print (a + 0 > b + 0) ? 1 : 0 }')
+  if [ "$ok" != 1 ]; then
+    echo "sim_bench: FAIL: first rung $eps events/sec under the $FLOOR floor" >&2
+    exit 1
+  fi
+  echo "sim_bench: PASS ($eps events/sec > $FLOOR floor)" >&2
+fi
