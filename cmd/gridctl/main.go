@@ -39,6 +39,13 @@
 // status polling:
 //
 //	gridctl watch -node 127.0.0.1:7001 <job-id>
+//
+// The flow subcommand runs a declarative workflow file (DESIGN.md §15)
+// against the grid: stages submit as their dependencies deliver, each
+// stage's input is the bundle of its dependencies' outputs, and the
+// exit status asserts every stage delivered exactly once:
+//
+//	gridctl flow run -bootstrap 127.0.0.1:7001 pipeline.flow
 package main
 
 import (
@@ -84,6 +91,9 @@ func main() {
 			return
 		case "watch":
 			watchCmd(os.Args[2:])
+			return
+		case "flow":
+			flowCmd(os.Args[2:])
 			return
 		}
 	}

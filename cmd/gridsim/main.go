@@ -15,6 +15,7 @@
 // trustsweep (sabotage tolerance: replication/quorum/reputation),
 // replsweep (owner-state replication degree under owner+run double
 // crashes), notifsweep (pub/sub push notifications vs status polling),
+// flowsweep (DAG checkpoint policies: workflow-aware vs adaptive),
 // simbench (kernel throughput ladder, writes BENCH_sim.json),
 // ablate-virtualdim, ablate-k, ablate-fair, all.
 //
@@ -44,6 +45,7 @@ var experimentOrder = []string{
 	"fig2a", "fig2b", "fig2c", "fig2d",
 	"tab1", "tab2", "tab3", "tab4", "tab5",
 	"faultsweep", "ckptsweep", "trustsweep", "replsweep", "notifsweep",
+	"flowsweep",
 	"ablate-virtualdim", "ablate-k", "ablate-fair",
 }
 
@@ -280,6 +282,8 @@ func run(id string, o experiments.Options) (*experiments.Table, error) {
 		return experiments.ReplSweep(o), nil
 	case "notifsweep":
 		return experiments.NotifSweep(o), nil
+	case "flowsweep":
+		return experiments.FlowSweep(o), nil
 	case "ablate-virtualdim":
 		return experiments.VirtualDimAblation(o), nil
 	case "ablate-k":

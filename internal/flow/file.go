@@ -1,0 +1,102 @@
+package flow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Flowfile: the declarative workflow format `gridctl flow run` reads.
+// One directive per line, '#' comments, blank lines ignored:
+//
+//	flow render
+//	stage prep work=4s out=2
+//	stage left after=prep work=8s out=1
+//	stage right after=prep work=6s out=1
+//	stage merge after=left,right work=3s
+//
+// Stage options: after=a,b (dependencies), work=<duration>,
+// in=<KB> (declared input size), out=<KB> (output size — also the
+// carried payload size for stages with dependents), bias=<float>
+// (explicit checkpoint bias overriding the plan's computed one).
+// Validation (Graph.Validate) runs before anything is submitted.
+
+// Parse reads a flowfile and returns the graph it declares. The graph
+// is syntactically parsed only; call Validate for structural checks.
+func Parse(r io.Reader) (Graph, error) {
+	var g Graph
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "flow":
+			if len(fields) != 2 {
+				return g, fmt.Errorf("flow: line %d: want 'flow <name>'", lineNo)
+			}
+			g.Name = fields[1]
+		case "stage":
+			if len(fields) < 2 {
+				return g, fmt.Errorf("flow: line %d: want 'stage <name> [opts]'", lineNo)
+			}
+			s := Stage{Name: fields[1]}
+			for _, opt := range fields[2:] {
+				k, v, ok := strings.Cut(opt, "=")
+				if !ok {
+					return g, fmt.Errorf("flow: line %d: option %q is not key=value", lineNo, opt)
+				}
+				var err error
+				switch k {
+				case "after":
+					s.After = strings.Split(v, ",")
+				case "work":
+					s.Spec.Work, err = time.ParseDuration(v)
+				case "in":
+					s.Spec.InputKB, err = strconv.Atoi(v)
+				case "out":
+					s.Spec.OutputKB, err = strconv.Atoi(v)
+				case "bias":
+					s.Spec.CkptBias, err = strconv.ParseFloat(v, 64)
+				default:
+					return g, fmt.Errorf("flow: line %d: unknown option %q", lineNo, k)
+				}
+				if err != nil {
+					return g, fmt.Errorf("flow: line %d: option %q: %v", lineNo, opt, err)
+				}
+			}
+			g.Stages = append(g.Stages, s)
+		default:
+			return g, fmt.Errorf("flow: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return g, fmt.Errorf("flow: read: %w", err)
+	}
+	if g.Name == "" {
+		g.Name = "flow"
+	}
+	if len(g.Stages) == 0 {
+		return g, fmt.Errorf("flow: no stages declared")
+	}
+	return g, nil
+}
+
+// MustGraph is a test/experiment helper: validate or panic.
+func MustGraph(g Graph) *Plan {
+	p, err := g.Validate()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

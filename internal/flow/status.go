@@ -1,0 +1,49 @@
+package flow
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"time"
+
+	"repro/internal/ids"
+	"repro/internal/transport"
+)
+
+// Flow status rides the PR 8 notification overlay: the engine
+// publishes one Update per stage transition to the workflow's own
+// topic, and watchers subscribe there instead of polling the client.
+// Like grid.JobUpdate, the payload is gob inside pubsub's envelope —
+// not a new wire message.
+
+// FlowTopic returns the pub/sub topic of one client's named workflow.
+func FlowTopic(client transport.Addr, flow string) ids.ID {
+	return ids.HashString(fmt.Sprintf("flow/%s/%s", client, flow))
+}
+
+// Update is the payload of one flow-status notification: a stage
+// transition as the engine saw it.
+type Update struct {
+	Flow    string
+	Stage   string
+	Kind    string // "submitted" | "delivered"
+	JobID   ids.ID // the attempt's GUID
+	Attempt int
+	At      time.Duration
+}
+
+// EncodeUpdate serializes an Update for the pub/sub payload.
+func EncodeUpdate(u Update) []byte {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(u); err != nil {
+		panic("flow: encode update: " + err.Error())
+	}
+	return buf.Bytes()
+}
+
+// DecodeUpdate parses a pub/sub payload produced by EncodeUpdate.
+func DecodeUpdate(data []byte) (Update, error) {
+	var u Update
+	err := gob.NewDecoder(bytes.NewReader(data)).Decode(&u)
+	return u, err
+}

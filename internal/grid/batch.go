@@ -33,14 +33,17 @@ func (n *Node) InjectBatch(rt transport.Runtime, reqs []InjectReq) []InjectResul
 	byOwner := make(map[transport.Addr][]pending)
 	for i, req := range reqs {
 		prof := Profile{
-			ID:       JobGUID(req.Client, req.Seq, req.Attempt),
-			Client:   req.Client,
-			Seq:      req.Seq,
-			Attempt:  req.Attempt,
-			Cons:     req.Cons,
-			Work:     req.Work,
-			InputKB:  req.InputKB,
-			OutputKB: req.OutputKB,
+			ID:          JobGUID(req.Client, req.Seq, req.Attempt),
+			Client:      req.Client,
+			Seq:         req.Seq,
+			Attempt:     req.Attempt,
+			Cons:        req.Cons,
+			Work:        req.Work,
+			InputKB:     req.InputKB,
+			OutputKB:    req.OutputKB,
+			Input:       req.Input,
+			CkptBias:    req.CkptBias,
+			CarryOutput: req.CarryOutput,
 		}
 		tc := req.TC
 		if tc.Zero() {

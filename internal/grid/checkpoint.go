@@ -44,7 +44,16 @@ func (n *Node) noteFailureSignal(now time.Duration) {
 // policy returns CheckpointEvery; adaptive policy applies Young's rule
 // to the failure rate observed over CheckpointFailWindow, backing off
 // to CheckpointMaxEvery when the neighbourhood has been stable.
-func (n *Node) ckptInterval(now time.Duration) time.Duration {
+//
+// bias is the workflow hint carried on the job's profile (Ni &
+// Harwood's critical-path weighting): under CheckpointWorkflowAware a
+// bias > 1 divides the adaptive interval by sqrt(bias) — equivalent to
+// inflating the effective failure *cost* by the downstream work a lost
+// snapshot would force to re-execute. The bias also tightens the
+// stable-neighbourhood backoff, so critical-path stages snapshot more
+// eagerly even before the first failure observation. Fixed policy
+// ignores it.
+func (n *Node) ckptInterval(now time.Duration, bias float64) time.Duration {
 	if !n.cfg.CheckpointAdaptive {
 		return n.cfg.CheckpointEvery
 	}
@@ -56,16 +65,19 @@ func (n *Node) ckptInterval(now time.Duration) time.Duration {
 		}
 	}
 	n.mu.Unlock()
-	if seen == 0 {
-		return n.cfg.CheckpointMaxEvery
+	opt := n.cfg.CheckpointMaxEvery
+	if seen > 0 {
+		rate := float64(seen) / n.cfg.CheckpointFailWindow.Seconds() // failures per second
+		opt = time.Duration(math.Sqrt(2*n.cfg.CheckpointCost.Seconds()/rate) * float64(time.Second))
+		if opt > n.cfg.CheckpointMaxEvery {
+			opt = n.cfg.CheckpointMaxEvery
+		}
 	}
-	rate := float64(seen) / n.cfg.CheckpointFailWindow.Seconds() // failures per second
-	opt := time.Duration(math.Sqrt(2*n.cfg.CheckpointCost.Seconds()/rate) * float64(time.Second))
+	if n.cfg.CheckpointWorkflowAware && bias > 1 {
+		opt = time.Duration(float64(opt) / math.Sqrt(bias))
+	}
 	if opt < n.cfg.CheckpointMinEvery {
 		opt = n.cfg.CheckpointMinEvery
-	}
-	if opt > n.cfg.CheckpointMaxEvery {
-		opt = n.cfg.CheckpointMaxEvery
 	}
 	return opt
 }

@@ -61,7 +61,7 @@ func TestAbsorbCkptRules(t *testing.T) {
 
 func TestCkptIntervalFixedAndAdaptive(t *testing.T) {
 	fixed, _ := newStubNode(nil, Config{CheckpointEvery: 10 * time.Second})
-	if got := fixed.ckptInterval(time.Minute); got != 10*time.Second {
+	if got := fixed.ckptInterval(time.Minute, 0); got != 10*time.Second {
 		t.Fatalf("fixed interval = %v", got)
 	}
 
@@ -75,12 +75,12 @@ func TestCkptIntervalFixedAndAdaptive(t *testing.T) {
 	})
 	now := 10 * time.Minute
 	// No observed failures: back off to the max interval.
-	if got := n.ckptInterval(now); got != time.Minute {
+	if got := n.ckptInterval(now, 0); got != time.Minute {
 		t.Fatalf("quiet interval = %v, want max", got)
 	}
 	// One failure in the window: Young's rule sqrt(2*0.5/(1/120)) ≈ 11 s.
 	n.noteFailureSignal(now)
-	got := n.ckptInterval(now)
+	got := n.ckptInterval(now, 0)
 	if got < 9*time.Second || got > 13*time.Second {
 		t.Fatalf("1-failure interval = %v, want ~11s", got)
 	}
@@ -88,7 +88,7 @@ func TestCkptIntervalFixedAndAdaptive(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		n.noteFailureSignal(now)
 	}
-	if got := n.ckptInterval(now); got != time.Second {
+	if got := n.ckptInterval(now, 0); got != time.Second {
 		t.Fatalf("burst interval = %v, want min clamp", got)
 	}
 	// Outside the window the observations expire and the interval
@@ -96,8 +96,62 @@ func TestCkptIntervalFixedAndAdaptive(t *testing.T) {
 	later := now + 5*time.Minute
 	n.noteFailureSignal(later) // triggers pruning of the stale burst
 	n.failObs = nil
-	if got := n.ckptInterval(later); got != time.Minute {
+	if got := n.ckptInterval(later, 0); got != time.Minute {
 		t.Fatalf("post-window interval = %v, want max", got)
+	}
+}
+
+// TestCkptIntervalWorkflowAware: under CheckpointWorkflowAware a
+// CkptBias > 1 divides the adaptive interval by sqrt(bias) — including
+// the stable-neighbourhood backoff — clamped at the floor; without the
+// flag (or with bias <= 1, or under fixed policy) the bias is inert.
+func TestCkptIntervalWorkflowAware(t *testing.T) {
+	cfg := Config{
+		CheckpointEvery:      10 * time.Second,
+		CheckpointAdaptive:   true,
+		CheckpointMinEvery:   time.Second,
+		CheckpointMaxEvery:   time.Minute,
+		CheckpointCost:       500 * time.Millisecond,
+		CheckpointFailWindow: 2 * time.Minute,
+	}
+	now := 10 * time.Minute
+
+	// Flag off: bias ignored entirely.
+	plain, _ := newStubNode(nil, cfg)
+	if got := plain.ckptInterval(now, 4); got != time.Minute {
+		t.Fatalf("bias honored without CheckpointWorkflowAware: %v", got)
+	}
+
+	cfg.CheckpointWorkflowAware = true
+	n, _ := newStubNode(nil, cfg)
+	// Quiet neighbourhood: the backoff itself tightens, 60s/sqrt(4)=30s.
+	if got := n.ckptInterval(now, 4); got != 30*time.Second {
+		t.Fatalf("biased quiet interval = %v, want 30s", got)
+	}
+	// bias <= 1 means unbiased.
+	if got := n.ckptInterval(now, 1); got != time.Minute {
+		t.Fatalf("bias=1 interval = %v, want max", got)
+	}
+	if got := n.ckptInterval(now, 0); got != time.Minute {
+		t.Fatalf("bias=0 interval = %v, want max", got)
+	}
+	// With a failure observed, Young's optimum (~11s) divides by
+	// sqrt(bias) too.
+	n.noteFailureSignal(now)
+	base := n.ckptInterval(now, 0)
+	biased := n.ckptInterval(now, 4)
+	if want := base / 2; biased < want-time.Millisecond || biased > want+time.Millisecond {
+		t.Fatalf("biased interval = %v, want %v (base %v / sqrt(4))", biased, want, base)
+	}
+	// The floor still holds under extreme bias.
+	if got := n.ckptInterval(now, 1e6); got != time.Second {
+		t.Fatalf("extreme bias broke the floor: %v", got)
+	}
+
+	// Fixed policy ignores the bias.
+	fixed, _ := newStubNode(nil, Config{CheckpointEvery: 10 * time.Second, CheckpointWorkflowAware: true})
+	if got := fixed.ckptInterval(now, 9); got != 10*time.Second {
+		t.Fatalf("fixed policy honored bias: %v", got)
 	}
 }
 

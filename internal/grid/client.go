@@ -19,6 +19,17 @@ type JobSpec struct {
 	Work     time.Duration
 	InputKB  int
 	OutputKB int
+	// Input is the job's input payload: the run node seeds its
+	// resumable state from these bytes, and recovery ships them onward
+	// inside ordinary checkpoints (see Profile.Input). The flow engine
+	// sets it to the delivered output of the stage's dependencies.
+	Input []byte
+	// CkptBias is the workflow-aware checkpoint hint (Profile.CkptBias);
+	// honored only under Config.CheckpointWorkflowAware.
+	CkptBias float64
+	// CarryOutput asks the run node to attach the job's derived output
+	// bytes to the delivered Result (Profile.CarryOutput).
+	CarryOutput bool
 }
 
 // Submit inserts a new job through this node acting as its own
@@ -45,24 +56,30 @@ func (n *Node) submitAttempt(rt transport.Runtime, spec JobSpec, seq, attempt in
 // recover the job even if every inject attempt afterwards fails.
 func (n *Node) prepareSubmit(rt transport.Runtime, spec JobSpec, seq, attempt int) (InjectReq, ids.ID) {
 	req := InjectReq{
-		Client:   n.host.Addr(),
-		Seq:      seq,
-		Attempt:  attempt,
-		Cons:     spec.Cons,
-		Work:     spec.Work,
-		InputKB:  spec.InputKB,
-		OutputKB: spec.OutputKB,
+		Client:      n.host.Addr(),
+		Seq:         seq,
+		Attempt:     attempt,
+		Cons:        spec.Cons,
+		Work:        spec.Work,
+		InputKB:     spec.InputKB,
+		OutputKB:    spec.OutputKB,
+		Input:       spec.Input,
+		CkptBias:    spec.CkptBias,
+		CarryOutput: spec.CarryOutput,
 	}
 	jobID := JobGUID(req.Client, seq, attempt)
 	n.mu.Lock()
 	n.pending[jobID] = &pendingJob{
-		seq:      seq,
-		attempt:  attempt,
-		cons:     spec.Cons,
-		work:     spec.Work,
-		inputKB:  spec.InputKB,
-		outputKB: spec.OutputKB,
-		submitAt: rt.Now(),
+		seq:         seq,
+		attempt:     attempt,
+		cons:        spec.Cons,
+		work:        spec.Work,
+		inputKB:     spec.InputKB,
+		outputKB:    spec.OutputKB,
+		input:       spec.Input,
+		ckptBias:    spec.CkptBias,
+		carryOutput: spec.CarryOutput,
+		submitAt:    rt.Now(),
 	}
 	n.mu.Unlock()
 	// With push notifications on, subscribe to the lineage topic once,
@@ -367,6 +384,104 @@ func (n *Node) PendingCount() int {
 	return waiting
 }
 
+// SeqStatus is the client-visible state of one submitted job lineage,
+// keyed by the client-local seq — stable across resubmissions, unlike
+// the per-attempt GUID (a resubmission re-keys the pending map under a
+// fresh GUID, which is exactly the bug the old workflow harvester had).
+type SeqStatus struct {
+	JobID    ids.ID // current attempt's GUID
+	Attempt  int
+	Done     bool
+	Finished time.Duration // delivery instant; zero until Done
+	Res      Result
+}
+
+// StatusBySeq reports the lineage with the given client-local seq.
+func (n *Node) StatusBySeq(seq int) (SeqStatus, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, p := range n.pending {
+		if p.seq != seq {
+			continue
+		}
+		return SeqStatus{JobID: id, Attempt: p.attempt, Done: p.got, Finished: p.resultAt, Res: p.res}, true
+	}
+	return SeqStatus{}, false
+}
+
+// SeqFor reports the client-local seq of a job this node submitted.
+// Valid for the GUID any attempt was submitted under, as long as that
+// attempt is the lineage's current one.
+func (n *Node) SeqFor(jobID ids.ID) (int, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.pending[jobID]; ok {
+		return p.seq, true
+	}
+	return 0, false
+}
+
+// resultWakeChan registers a one-shot waiter that is pulsed on the next
+// result arrival or push notification for this client's pending jobs.
+func (n *Node) resultWakeChan() chan struct{} {
+	ch := make(chan struct{}, 1)
+	n.mu.Lock()
+	n.resultWaiters = append(n.resultWaiters, ch)
+	n.mu.Unlock()
+	return ch
+}
+
+// wakeResultWaiters pulses and drops every registered waiter. Sends are
+// non-blocking: a waiter that raced away (its timeout already pulsed
+// the buffered slot) must not stall delivery.
+func (n *Node) wakeResultWaiters() {
+	n.mu.Lock()
+	ws := n.resultWaiters
+	n.resultWaiters = nil
+	n.mu.Unlock()
+	for _, ch := range ws {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// AwaitResultEvent parks the caller until a result or push notification
+// arrives for one of this client's jobs, or maxWait passes — the
+// push-first replacement for fixed-interval harvest polling. On a
+// runtime that can block on channels (the live transport) the caller
+// sleeps until the next event with maxWait as the silence fallback; a
+// simulated proc may suspend only via its Runtime, so there the wait is
+// a bounded virtual-clock sleep (IdlePoll, capped by maxWait) and the
+// caller's loop re-checks its condition each round.
+func (n *Node) AwaitResultEvent(rt transport.Runtime, maxWait time.Duration) {
+	if maxWait <= 0 || maxWait > n.cfg.NotifySilence {
+		// Cap at the silence window: an event can slip between a caller's
+		// condition check and the waiter registering below, so an unbounded
+		// park would turn that race into a stall. Callers loop and re-check
+		// their condition each wake, so the cap costs only a re-scan.
+		maxWait = n.cfg.NotifySilence
+	}
+	if w, ok := rt.(transport.ChanWaiter); ok {
+		ch := n.resultWakeChan()
+		t := time.AfterFunc(maxWait, func() {
+			select {
+			case ch <- struct{}{}:
+			default:
+			}
+		})
+		w.AwaitChan(ch)
+		t.Stop()
+		return
+	}
+	poll := n.cfg.IdlePoll
+	if poll > maxWait {
+		poll = maxWait
+	}
+	rt.Sleep(poll)
+}
+
 func (n *Node) handleResult(rt transport.Runtime, from transport.Addr, req any) (any, error) {
 	r := req.(ResultReq)
 	n.acceptResult(rt, r.Res, r.TC)
@@ -385,11 +500,13 @@ func (n *Node) acceptResult(rt transport.Runtime, res Result, tc obs.TC) obs.TC 
 	if fresh {
 		p.got = true
 		p.resultAt = rt.Now()
+		p.res = res
 		work = p.work
 		seq = p.seq
 	}
 	n.mu.Unlock()
 	if fresh {
+		n.wakeResultWaiters()
 		if n.cfg.Notify != nil {
 			n.cfg.Notify.Unsubscribe(NotifyTopic(n.host.Addr(), seq))
 		}
@@ -497,7 +614,10 @@ func (n *Node) checkAndMaybeResubmit(rt transport.Runtime, jobID ids.ID, p pendi
 	n.rec.Record(Event{Kind: EvResubmitted, JobID: jobID, Attempt: p.attempt, At: rt.Now(), Node: n.host.Addr()})
 	n.notifyTransition(rt.Now(), Profile{ID: jobID, Client: n.host.Addr(), Seq: p.seq, Attempt: p.attempt},
 		EvResubmitted, n.host.Addr(), 0)
-	spec := JobSpec{Cons: p.cons, Work: p.work, InputKB: p.inputKB, OutputKB: p.outputKB}
+	spec := JobSpec{
+		Cons: p.cons, Work: p.work, InputKB: p.inputKB, OutputKB: p.outputKB,
+		Input: p.input, CkptBias: p.ckptBias, CarryOutput: p.carryOutput,
+	}
 	_, _ = n.submitAttempt(rt, spec, p.seq, p.attempt+1)
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/transport"
 	"repro/internal/trust"
+	"repro/internal/workload"
 )
 
 // Config tunes the grid layer. The zero value selects the defaults.
@@ -92,6 +93,15 @@ type Config struct {
 	// attach that much synthetic state to every snapshot — a test and
 	// experiment knob for exercising the oversized-checkpoint path.
 	CheckpointStateKB int
+	// CheckpointWorkflowAware makes the adaptive policy honor the
+	// per-job CkptBias hint the flow engine stamps on critical-path and
+	// high-fan-out workflow stages: the Young's-rule interval is divided
+	// by sqrt(bias), so the stages whose loss would re-execute the most
+	// downstream work snapshot the most often (Ni & Harwood's
+	// workflow-aware refinement). Default off: bias hints are carried
+	// but ignored, which is what plain-adaptive comparisons and seeded
+	// replays of earlier PRs expect. Requires CheckpointAdaptive.
+	CheckpointWorkflowAware bool
 	// ProgressSlice is the execution-accounting quantum: run nodes
 	// advance jobs in slices of at most this much nominal work so
 	// executed-work accounting and drop-aborts have bounded lag, even
@@ -316,6 +326,24 @@ type Profile struct {
 	// (KB-scale datasets); they only affect recorded transfer sizes.
 	InputKB  int
 	OutputKB int
+	// Input is the job's real input payload: the run node seeds its
+	// resumable state from these bytes before the first slice, so the
+	// job computes from upstream data instead of re-deriving it. The
+	// flow engine ships stage N's delivered output here for stage N+1;
+	// once execution starts the bytes travel onward inside ordinary
+	// checkpoints (heartbeat piggyback / grid.checkpoint / AssignReq),
+	// so mid-stage recovery reuses the existing transfer path.
+	Input []byte
+	// CkptBias is the workflow-aware checkpoint hint (>= 1; 0 or 1
+	// means unbiased). The flow engine sets it from the DAG shape —
+	// the ratio of downstream work hanging off this stage to the
+	// stage's own work — and run nodes honor it only when
+	// Config.CheckpointWorkflowAware is on.
+	CkptBias float64
+	// CarryOutput asks the run node to attach the job's derived output
+	// bytes to the Result (Result.Data); the flow engine sets it on
+	// stages with dependents so their output can ship downstream.
+	CarryOutput bool
 }
 
 // JobGUID derives a job's GUID the way the paper's injection node does:
@@ -363,6 +391,12 @@ type Result struct {
 	// Digest fingerprints the result's content for quorum voting; empty
 	// on the legacy single-execution path.
 	Digest string
+	// Data is the job's output payload, attached only when the profile
+	// asked for it (Profile.CarryOutput) — a deterministic function of
+	// the submission identity and input bytes, so every attempt and
+	// every honest run node produces identical output. The flow engine
+	// feeds it to dependent stages as their Input.
+	Data []byte
 }
 
 // ResultDigest fingerprints a result's content. It deliberately covers
@@ -385,6 +419,21 @@ func CorruptDigest(correct string, node transport.Addr) string {
 // given nonce; the prober computes it locally and compares.
 func ProbeDigest(nonce string) string {
 	return ids.HashString("probe/" + nonce).String()
+}
+
+// StageOutput derives the output payload a CarryOutput job produces: a
+// pure function of the submission identity and the input bytes, sized
+// OutputKB (minimum 1 KB). Like ResultDigest it deliberately covers
+// only what the computation determines, so every attempt on every
+// honest run node derives identical bytes — data passing stays safe
+// across resubmission, rematch, and owner handoff.
+func StageOutput(prof Profile) []byte {
+	kb := prof.OutputKB
+	if kb <= 0 {
+		kb = 1
+	}
+	seed := fmt.Sprintf("stage-out/%s/%d/%s", prof.Client, prof.Seq, ids.Hash(prof.Input))
+	return workload.DeriveBytes(seed, kb*1024)
 }
 
 // MatchStats quantifies one matchmaking operation, aggregated across

@@ -39,7 +39,12 @@ type (
 		Work     time.Duration
 		InputKB  int
 		OutputKB int
-		TC       obs.TC
+		// Input/CkptBias/CarryOutput mirror the JobSpec fields of the
+		// same names (workflow data passing; see Profile).
+		Input       []byte
+		CkptBias    float64
+		CarryOutput bool
+		TC          obs.TC
 	}
 	// InjectResp confirms insertion: the assigned GUID and owner, plus
 	// (with replication on) the owner's ranked replica target list so
@@ -350,6 +355,11 @@ type Node struct {
 	// monitor — the pair the notifsweep experiment compares.
 	NotifyRecv   int64
 	StatusProbes int64
+
+	// resultWaiters are one-shot channels parked in AwaitResultEvent on
+	// the live transport, pulsed on result arrival or push notification
+	// (guarded by mu; see client.go).
+	resultWaiters []chan struct{}
 }
 
 type pendingJob struct {
@@ -359,9 +369,18 @@ type pendingJob struct {
 	work     time.Duration
 	inputKB  int
 	outputKB int
-	submitAt time.Duration
-	resultAt time.Duration
-	got      bool
+	// input/ckptBias/carryOutput mirror the JobSpec so a resubmission
+	// rebuilds the full spec — a workflow stage resubmitted by the
+	// monitor must keep its upstream input bytes and checkpoint bias.
+	input       []byte
+	ckptBias    float64
+	carryOutput bool
+	submitAt    time.Duration
+	resultAt    time.Duration
+	got         bool
+	// res is the delivered result (valid once got); kept so workflow
+	// harvesters can read stage output by seq after delivery.
+	res Result
 	// owner/reps aim the monitor's status probes: the job's owner as of
 	// injection (re-aimed by each successful probe) and that owner's
 	// replica chain. Under walk placement the overlay cannot re-route a
@@ -516,14 +535,17 @@ var errRoute = errors.New("grid: owner routing failed")
 func (n *Node) Inject(rt transport.Runtime, req InjectReq) (InjectResp, error) {
 	began := rt.Now()
 	prof := Profile{
-		ID:       JobGUID(req.Client, req.Seq, req.Attempt),
-		Client:   req.Client,
-		Seq:      req.Seq,
-		Attempt:  req.Attempt,
-		Cons:     req.Cons,
-		Work:     req.Work,
-		InputKB:  req.InputKB,
-		OutputKB: req.OutputKB,
+		ID:          JobGUID(req.Client, req.Seq, req.Attempt),
+		Client:      req.Client,
+		Seq:         req.Seq,
+		Attempt:     req.Attempt,
+		Cons:        req.Cons,
+		Work:        req.Work,
+		InputKB:     req.InputKB,
+		OutputKB:    req.OutputKB,
+		Input:       req.Input,
+		CkptBias:    req.CkptBias,
+		CarryOutput: req.CarryOutput,
 	}
 	tc := req.TC
 	if tc.Zero() {

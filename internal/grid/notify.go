@@ -98,4 +98,7 @@ func (n *Node) OnNotification(rt transport.Runtime, topic ids.ID, payload []byte
 	n.NotifyRecv++
 	n.mu.Unlock()
 	n.om.notifyRecv.Inc()
+	// Wake blocked result waiters (the workflow runner): a pushed
+	// transition may be the delivery-completing event they sleep on.
+	n.wakeResultWaiters()
 }

@@ -179,6 +179,12 @@ func (n *Node) executeAndReport(rt transport.Runtime, job *queuedJob, started ti
 		Err:      execErr,
 		Digest:   digest,
 	}
+	if job.prof.CarryOutput && execErr == "" {
+		// Stage output for workflow data passing: a pure function of the
+		// submission identity and input bytes, so every attempt on every
+		// run node derives identical bytes (resubmission-safe).
+		res.Data = StageOutput(job.prof)
+	}
 	if n.cfg.votingOn() {
 		// Redundant execution: the replica does not deliver to the
 		// client; its completion IS its vote, and the owner delivers
@@ -233,6 +239,14 @@ func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
 	if n.cfg.CheckpointStateKB > 0 {
 		sw.SetState(make([]byte, n.cfg.CheckpointStateKB*1024))
 	}
+	if len(job.prof.Input) > 0 {
+		// Cross-stage data passing: upstream output seeds the resumable
+		// state before execution, so the first snapshot already embeds
+		// the inherited bytes and recovery ships them like any other
+		// checkpoint data. A genuine resume below overrides this — its
+		// Data evolved from the same seed.
+		sw.SetState(append([]byte(nil), job.prof.Input...))
+	}
 	n.mu.Lock()
 	seed := job.ckpt
 	n.mu.Unlock()
@@ -253,7 +267,7 @@ func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
 	if total > 0 {
 		scale = float64(n.execTime(job.prof)) / float64(total)
 	}
-	nextCkpt := rt.Now() + n.ckptInterval(rt.Now())
+	nextCkpt := rt.Now() + n.ckptInterval(rt.Now(), job.prof.CkptBias)
 	for !sw.Finished() {
 		quantum := n.cfg.ProgressSlice
 		if rem := sw.Remaining(); quantum > rem {
@@ -285,7 +299,7 @@ func (n *Node) executeSliced(rt transport.Runtime, job *queuedJob) bool {
 				Kind: EvCheckpointed, JobID: job.prof.ID, Attempt: job.prof.Attempt,
 				At: rt.Now(), Node: n.host.Addr(), Progress: snap.Done,
 			})
-			nextCkpt = rt.Now() + n.ckptInterval(rt.Now())
+			nextCkpt = rt.Now() + n.ckptInterval(rt.Now(), job.prof.CkptBias)
 		}
 	}
 	return false

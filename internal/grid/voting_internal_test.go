@@ -176,7 +176,7 @@ func TestVotingLateVoteAfterAcceptance(t *testing.T) {
 	if got := rec.count(EvAccepted); got != 1 {
 		t.Fatalf("EvAccepted %d, want 1", got)
 	}
-	if *job.relay != accepted {
+	if job.relay.RunNode != accepted.RunNode || job.relay.Digest != accepted.Digest {
 		t.Fatal("late vote replaced the accepted result")
 	}
 	if got := rec.count(EvRejected); got != 1 {

@@ -46,6 +46,13 @@ type TaskResult struct {
 // delivered results are submitted (concurrently, as independent grid
 // jobs); the call returns when every task finished or the deadline
 // passed. It must run in a client activity on this node's host.
+//
+// Deprecated: RunWorkflow predates the flow engine (internal/flow),
+// which adds upfront DAG validation, SubmitAll batching, cross-stage
+// data passing, and the workflow-aware checkpoint bias. New code
+// should convert the Workflow with flow.FromGrid and run it through
+// flow.Run. This entry point remains for compatibility; it shares the
+// engine's seq-keyed harvest and notification-driven wakeups.
 func (n *Node) RunWorkflow(rt transport.Runtime, wf Workflow, deadline time.Duration) (map[string]TaskResult, error) {
 	byName := make(map[string]*Task, len(wf.Tasks))
 	for i := range wf.Tasks {
@@ -64,7 +71,8 @@ func (n *Node) RunWorkflow(rt transport.Runtime, wf Workflow, deadline time.Dura
 	}
 
 	results := make(map[string]TaskResult, len(wf.Tasks))
-	submitted := make(map[string]ids.ID)
+	submitted := make(map[string]int)           // task name -> client-local seq
+	startedAt := make(map[string]time.Duration) // task name -> submit instant
 
 	for len(results) < len(wf.Tasks) {
 		// Submit every task whose dependencies are complete.
@@ -86,23 +94,32 @@ func (n *Node) RunWorkflow(rt transport.Runtime, wf Workflow, deadline time.Dura
 			if !ready {
 				continue
 			}
+			at := rt.Now()
 			jobID, err := n.Submit(rt, t.Spec)
 			if err != nil {
 				return results, fmt.Errorf("grid: submit task %q: %w", t.Name, err)
 			}
-			submitted[t.Name] = jobID
+			seq, ok := n.SeqFor(jobID)
+			if !ok {
+				return results, fmt.Errorf("grid: task %q vanished after submit", t.Name)
+			}
+			submitted[t.Name] = seq
+			// Record the submit instant here: pendingJob.submitAt is
+			// monitor state (backdated on proof-of-life), not history.
+			startedAt[t.Name] = at
 			progress = true
 		}
-		// Harvest completions.
-		n.mu.Lock()
-		for name, jobID := range submitted {
-			if p, ok := n.pending[jobID]; ok && p.got {
-				results[name] = TaskResult{Name: name, JobID: jobID, Finished: p.resultAt}
+		// Harvest completions by client-local sequence number — stable
+		// across monitor resubmissions, which re-key the job GUID per
+		// attempt (harvesting by the submit-time GUID would wedge the
+		// DAG on the first resubmission).
+		for name, seq := range submitted {
+			if st, ok := n.StatusBySeq(seq); ok && st.Done {
+				results[name] = TaskResult{Name: name, JobID: st.JobID, Started: startedAt[name], Finished: st.Finished}
 				delete(submitted, name)
 				progress = true
 			}
 		}
-		n.mu.Unlock()
 		if len(results) == len(wf.Tasks) {
 			return results, nil
 		}
@@ -113,7 +130,11 @@ func (n *Node) RunWorkflow(rt transport.Runtime, wf Workflow, deadline time.Dura
 		if rt.Now() >= deadline {
 			return results, fmt.Errorf("%w: %d/%d tasks done", ErrWorkflowStall, len(results), len(wf.Tasks))
 		}
-		rt.Sleep(500 * time.Millisecond)
+		// Notification-driven wakeup: block until a result lands or a
+		// pushed lineage transition arrives, capped at the deadline;
+		// without a wakeup-capable runtime this degrades to an IdlePoll
+		// sleep (the sim path).
+		n.AwaitResultEvent(rt, deadline-rt.Now())
 	}
 	return results, nil
 }

@@ -40,6 +40,26 @@ func TestWorkflowRunsInDependencyOrder(t *testing.T) {
 		results["report"].Finished <= results["analyze-b"].Finished {
 		t.Fatal("report finished before analyses")
 	}
+	// Started must be populated (the submit instant) and consistent:
+	// before Finished for every task (roots legitimately submit at the
+	// virtual-clock origin), nonzero for dependent tasks, and a
+	// dependent task starts only after its dependency delivered.
+	for name, r := range results {
+		if r.Started >= r.Finished {
+			t.Fatalf("task %q Started %v >= Finished %v", name, r.Started, r.Finished)
+		}
+	}
+	for _, name := range []string{"analyze-a", "analyze-b", "report"} {
+		if results[name].Started <= 0 {
+			t.Fatalf("task %q Started not populated: %v", name, results[name].Started)
+		}
+	}
+	if results["analyze-a"].Started < results["sim-a"].Finished {
+		t.Fatal("analysis submitted before its simulation delivered")
+	}
+	if results["report"].Started < results["analyze-b"].Finished {
+		t.Fatal("report submitted before analyses delivered")
+	}
 }
 
 func TestWorkflowIndependentTasksOverlap(t *testing.T) {

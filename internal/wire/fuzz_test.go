@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/flow"
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/obs"
@@ -87,6 +88,24 @@ func FuzzWireDecode(f *testing.F) {
 		pubsub.AckReq{Topic: grid.NotifyTopic("fuzz:1", 1), Sub: "fuzz:1", Epoch: 2, UpTo: 9},
 		pubsub.ResolveReq{Topic: grid.NotifyTopic("fuzz:1", 1)},
 		pubsub.ResolveResp{Addr: "fuzz:4"},
+		// Workflow data passing: populated stage-output envelopes so
+		// mutations reach the input/bias/carry fields (omitted entirely
+		// from zero-value seeds under gob's delta encoding), plus a
+		// flow-status update riding a pubsub payload.
+		grid.InjectReq{Client: "fuzz:1", Seq: 2, Input: []byte{0xca, 0xfe}, CkptBias: 2.5, CarryOutput: true, TC: tc},
+		grid.AssignReq{Prof: grid.Profile{
+			ID: ids.HashString("fw"), Client: "fuzz:1", Seq: 2,
+			Input: []byte{0xca, 0xfe}, CkptBias: 2.5, CarryOutput: true,
+		}, Owner: "fuzz:2", TC: tc},
+		grid.ResultReq{Res: grid.Result{
+			JobID: ids.HashString("fw"), RunNode: "fuzz:3",
+			Data: grid.StageOutput(grid.Profile{Client: "fuzz:1", Seq: 2, OutputKB: 1}),
+		}, TC: tc},
+		pubsub.PublishReq{Topic: flow.FlowTopic("fuzz:1", "soak"), From: "fuzz:1",
+			Payloads: [][]byte{flow.EncodeUpdate(flow.Update{
+				Flow: "soak", Stage: "sink", Kind: "submitted",
+				JobID: grid.JobGUID("fuzz:1", 4, 0), At: 7e9,
+			})}},
 	} {
 		f.Add(encode(f, msg))
 	}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/can"
 	"repro/internal/chord"
+	"repro/internal/flow"
 	"repro/internal/grid"
 	"repro/internal/ids"
 	"repro/internal/obs"
@@ -208,6 +209,36 @@ func TestPopulatedMessagesRoundTrip(t *testing.T) {
 		pubsub.AckReq{Topic: grid.NotifyTopic("c:1", 3), Sub: "c:1", Epoch: 1, UpTo: 5},
 		pubsub.ResolveReq{Topic: grid.NotifyTopic("c:1", 3)},
 		pubsub.ResolveResp{Addr: "rdv:1"},
+		// Workflow data passing (DESIGN.md §15): the stage-output
+		// envelope — inherited input bytes, the workflow checkpoint
+		// bias, and the carried output payload all ride the existing
+		// inject/assign/result messages, so populated instances must
+		// survive gob's delta encoding byte-for-byte.
+		grid.InjectReq{
+			Client: "c:1", Seq: 9, Cons: cons, Work: 50, OutputKB: 1,
+			Input: []byte{0xca, 0xfe, 1, 2}, CkptBias: 2.5, CarryOutput: true,
+			TC: obs.TC{ID: grid.TraceID("c:1", 9), Hop: 1},
+		},
+		grid.AssignReq{
+			Prof: grid.Profile{
+				ID: ids.HashString("fjob"), Client: "c:1", Seq: 9, Work: 50,
+				Input: []byte{0xca, 0xfe}, CkptBias: 2.5, CarryOutput: true,
+			},
+			Owner: "o:1",
+			Ckpt:  grid.Checkpoint{JobID: ids.HashString("fjob"), Run: "r:2", Done: 2e9, Data: []byte{3, 4}},
+		},
+		grid.ResultReq{Res: grid.Result{
+			JobID: ids.HashString("fjob"), RunNode: "r:2", OutputKB: 1,
+			Data: grid.StageOutput(grid.Profile{Client: "c:1", Seq: 9, OutputKB: 1}),
+		}},
+		// Flow status updates ride pubsub payloads, like grid.JobUpdate.
+		pubsub.PublishReq{
+			Topic: flow.FlowTopic("c:1", "render"), From: "c:1",
+			Payloads: [][]byte{flow.EncodeUpdate(flow.Update{
+				Flow: "render", Stage: "merge", Kind: "delivered",
+				JobID: grid.JobGUID("c:1", 4, 1), Attempt: 1, At: 30e9,
+			})},
+		},
 	}
 	for _, msg := range cases {
 		got, err := RoundTrip(msg)

@@ -1,0 +1,27 @@
+package workload
+
+import (
+	"crypto/sha1"
+	"encoding/binary"
+)
+
+// DeriveBytes deterministically expands a seed string into n
+// pseudo-random bytes via a SHA-1 counter chain. Workflow stages use it
+// to derive their output payload from the submission identity alone, so
+// every attempt on every honest run node produces byte-identical output
+// without coordination.
+func DeriveBytes(seed string, n int) []byte {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]byte, 0, n+sha1.Size)
+	var ctr [8]byte
+	for i := uint64(0); len(out) < n; i++ {
+		binary.BigEndian.PutUint64(ctr[:], i)
+		h := sha1.New()
+		h.Write([]byte(seed))
+		h.Write(ctr[:])
+		out = h.Sum(out)
+	}
+	return out[:n]
+}
